@@ -1,0 +1,175 @@
+// Command costas solves one Costas Array Problem instance with the
+// Adaptive Search solver, sequentially or by independent multi-walk.
+//
+// Usage:
+//
+//	costas -n 18                          # sequential solve
+//	costas -n 20 -walkers 8               # 8 concurrent walkers
+//	costas -n 20 -walkers 256 -virtual    # simulate a 256-core cluster
+//	costas -n 17 -grid -triangle          # pretty-print the solution
+//	costas -n 16 -construct               # algebraic construction instead of search
+//	costas -n 14 -solver dialectic        # run a baseline solver instead of AS
+//
+// The exit status is 0 on success and 1 if the instance was not solved
+// within the given budget.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/costas"
+	"repro/internal/cp"
+	"repro/internal/dialectic"
+	"repro/internal/hillclimb"
+	"repro/internal/tabu"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 18, "Costas array order")
+		walkers   = flag.Int("walkers", 1, "number of independent walkers")
+		virtual   = flag.Bool("virtual", false, "lockstep virtual cluster instead of goroutines")
+		seed      = flag.Uint64("seed", 1, "master seed (reproducible runs)")
+		maxIter   = flag.Int64("maxiter", 0, "per-walker iteration budget (0 = unlimited)")
+		grid      = flag.Bool("grid", false, "print the n×n grid")
+		triangle  = flag.Bool("triangle", false, "print the difference triangle")
+		quiet     = flag.Bool("q", false, "print only the array")
+		construct = flag.Bool("construct", false, "use a Welch/Golomb construction instead of search")
+		platform  = flag.String("platform", "", "also report virtual seconds on a paper platform (ha8000, suno, helios, jugene, t7500)")
+		solver    = flag.String("solver", "as", "solver: as (adaptive search), dialectic, tabu, hillclimb, cp")
+	)
+	flag.Parse()
+
+	if *solver != "as" {
+		runBaseline(*solver, *n, *seed, *maxIter, *grid, *triangle, *quiet)
+		return
+	}
+
+	if *construct {
+		arr := core.Construct(*n)
+		if arr == nil {
+			fmt.Fprintf(os.Stderr, "no classical construction covers order %d (that is why the paper searches)\n", *n)
+			os.Exit(1)
+		}
+		emit(arr, *grid, *triangle, *quiet)
+		return
+	}
+
+	res, err := core.Solve(context.Background(), core.Options{
+		N:             *n,
+		Walkers:       *walkers,
+		Virtual:       *virtual,
+		Seed:          *seed,
+		MaxIterations: *maxIter,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if !res.Solved {
+		fmt.Fprintf(os.Stderr, "unsolved within budget (total %d iterations over %d walkers)\n",
+			res.TotalIterations, len(res.Stats))
+		os.Exit(1)
+	}
+	emit(res.Array, *grid, *triangle, *quiet)
+	if !*quiet {
+		fmt.Printf("walkers=%d winner=%d iterations=%d total_iterations=%d wall=%v\n",
+			len(res.Stats), res.Winner, res.Iterations, res.TotalIterations, res.WallTime)
+		s := res.Stats[res.Winner]
+		fmt.Printf("winner stats: local_minima=%d resets=%d restarts=%d swaps=%d plateau=%d uphill=%d\n",
+			s.LocalMinima, s.Resets, s.Restarts, s.Swaps, s.PlateauMoves, s.UphillMoves)
+		if *platform != "" {
+			p, ok := cluster.Platforms[*platform]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
+				os.Exit(2)
+			}
+			fmt.Printf("virtual time on %s: %.3f s\n", p.Name, p.Seconds(res.Iterations))
+		}
+	}
+}
+
+// runBaseline solves with one of the comparison solvers (Table II, §IV-C)
+// and reports its native work counters.
+func runBaseline(name string, n int, seed uint64, maxIter int64, grid, triangle, quiet bool) {
+	var (
+		arr   []int
+		ok    bool
+		extra string
+	)
+	start := time.Now()
+	switch name {
+	case "dialectic":
+		s := dialectic.New(costas.New(n, costas.Options{}), dialectic.Params{MaxEvaluations: maxIter}, seed)
+		ok = s.Solve()
+		arr = s.Solution()
+		st := s.Stats()
+		extra = fmt.Sprintf("evaluations=%d rounds=%d descents=%d restarts=%d",
+			st.Evaluations, st.Rounds, st.Descents, st.Restarts)
+	case "tabu":
+		s := tabu.New(costas.New(n, costas.Options{}), tabu.Params{MaxIterations: maxIter}, seed)
+		ok = s.Solve()
+		arr = s.Solution()
+		st := s.Stats()
+		extra = fmt.Sprintf("iterations=%d evaluations=%d aspirations=%d restarts=%d",
+			st.Iterations, st.Evaluations, st.Aspirations, st.Restarts)
+	case "hillclimb":
+		s := hillclimb.New(costas.New(n, costas.Options{}), hillclimb.Params{MaxIterations: maxIter}, seed)
+		ok = s.Solve()
+		arr = s.Solution()
+		st := s.Stats()
+		extra = fmt.Sprintf("iterations=%d moves=%d restarts=%d", st.Iterations, st.Moves, st.Restarts)
+	case "cp":
+		s, err := cp.New(n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		s.SetNodeBudget(maxIter)
+		sol, err := s.FirstSolution()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ok = sol != nil
+		arr = sol
+		st := s.Stats()
+		extra = fmt.Sprintf("nodes=%d backtracks=%d", st.Nodes, st.Backtracks)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown solver %q (want as, dialectic, tabu, hillclimb, cp)\n", name)
+		os.Exit(2)
+	}
+	if !ok || !costas.IsCostas(arr) {
+		fmt.Fprintf(os.Stderr, "%s: unsolved within budget\n", name)
+		os.Exit(1)
+	}
+	emit(arr, grid, triangle, quiet)
+	if !quiet {
+		fmt.Printf("solver=%s wall=%v %s\n", name, time.Since(start), extra)
+	}
+}
+
+func emit(arr []int, grid, triangle, quiet bool) {
+	one := make([]int, len(arr))
+	for i, v := range arr {
+		one[i] = v + 1 // print 1-based like the paper's [3,4,2,1,5] example
+	}
+	fmt.Println(one)
+	if quiet {
+		return
+	}
+	if grid {
+		fmt.Print(costas.Grid(arr))
+	}
+	if triangle {
+		for d, row := range costas.Triangle(arr) {
+			fmt.Printf("d=%d: %v\n", d+1, row)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/ttt"
+)
+
+// runFig2 reproduces Figure 2: speed-ups for one CAP instance relative to
+// 32 cores, on HA8000 and the two GRID'5000 sites, drawn on log-log axes —
+// "execution times are halved when the number of cores is doubled".
+func runFig2(sc Scale) {
+	banner(fmt.Sprintf("Figure 2 — speed-ups for CAP %d w.r.t. %d cores (HA8000 + GRID'5000)", sc.Fig2N, sc.Fig2Cores[0]))
+	note("paper uses CAP 22; scale=%s uses CAP %d with %d runs per point", sc.Name, sc.Fig2N, sc.Fig2Runs)
+
+	platforms := []cluster.Platform{cluster.HA8000, cluster.Suno, cluster.Helios}
+	chart := report.NewLogLogChart(fmt.Sprintf("CAP %d speed-up vs cores", sc.Fig2N), "cores", "speedup")
+	tb := report.NewTable("", "platform", "cores", "avg time(s)", "speedup vs base", "ideal")
+
+	for pi, p := range platforms {
+		base := 0.0
+		pts := []report.ChartPoint{}
+		for _, c := range sc.Fig2Cores {
+			if c > p.MaxCores {
+				continue
+			}
+			sum := cellSummary(sc.Fig2N, c, sc.Fig2Runs, uint64(sc.Fig2N)*200_003+uint64(c)*13+uint64(pi)*7777)
+			secs := p.Seconds(int64(sum.Mean))
+			if base == 0 {
+				base = secs
+			}
+			sp := stats.Speedup(base, secs)
+			ideal := float64(c) / float64(sc.Fig2Cores[0])
+			tb.AddRow(p.Name, fmt.Sprint(c), report.Secs(secs), fmt.Sprintf("%.2f", sp), fmt.Sprintf("%.0f", ideal))
+			pts = append(pts, report.ChartPoint{X: float64(c), Y: sp})
+		}
+		chart.AddSeries(p.Name, pts)
+	}
+	fmt.Print(tb.String())
+	fmt.Println()
+	fmt.Print(chart.String())
+	note("shape check: each series doubles (≈) with each core doubling, as in the paper.")
+}
+
+// runFig3 reproduces Figure 3: speed-ups on JUGENE for several CAP sizes
+// relative to the smallest core count of the grid.
+func runFig3(sc Scale) {
+	banner("Figure 3 — speed-ups on JUGENE (virtual)")
+	note("paper uses CAP 21/22/23 from 512 (2048) cores; scale=%s uses sizes %v on cores %v",
+		sc.Name, sc.Fig3Sizes, sc.Fig3Cores)
+
+	chart := report.NewLogLogChart("JUGENE speed-ups", "cores", "speedup")
+	tb := report.NewTable("", "n", "cores", "avg time(s)", "speedup", "ideal")
+	for _, n := range sc.Fig3Sizes {
+		base := 0.0
+		pts := []report.ChartPoint{}
+		for _, c := range sc.Fig3Cores {
+			sum := cellSummary(n, c, sc.Fig3Runs, uint64(n)*300_007+uint64(c)*29)
+			secs := cluster.Jugene.Seconds(int64(sum.Mean))
+			if base == 0 {
+				base = secs
+			}
+			sp := stats.Speedup(base, secs)
+			tb.AddRow(fmt.Sprint(n), fmt.Sprint(c), report.Secs(secs),
+				fmt.Sprintf("%.2f", sp), fmt.Sprintf("%.0f", float64(c)/float64(sc.Fig3Cores[0])))
+			pts = append(pts, report.ChartPoint{X: float64(c), Y: sp})
+		}
+		chart.AddSeries(fmt.Sprintf("CAP %d", n), pts)
+	}
+	fmt.Print(tb.String())
+	fmt.Println()
+	fmt.Print(chart.String())
+	note("paper's headline: ×%.2f for CAP 21 and ×%.2f for CAP 22 from 512→8192 cores (ideal ×16).",
+		paperJugeneSpeedup21, paperJugeneSpeedup22)
+}
+
+// runFig4 reproduces Figure 4: time-to-target plots of the runtime
+// distribution over several core counts, with shifted-exponential fits —
+// the theoretical basis (Verhoeven & Aarts) of the linear speed-up.
+func runFig4(sc Scale) {
+	banner(fmt.Sprintf("Figure 4 — time-to-target plots, CAP %d (virtual HA8000)", sc.Fig4N))
+	note("paper uses CAP 21 with 200 runs per core count; scale=%s uses CAP %d with %d runs",
+		sc.Name, sc.Fig4N, sc.Fig4Runs)
+
+	p := cluster.HA8000
+	tb := report.NewTable("", "cores", "runs", "fit mu(s)", "fit lambda(s)",
+		"lambda predicted (base·K₀/K)", "K-S dist", "P(≤ t₅₀ of base)")
+
+	var baseMedian float64
+	var basePlot ttt.Plot
+	for i, c := range sc.Fig4Cores {
+		sample := virtualRuns(sc.Fig4N, c, sc.Fig4Runs, uint64(sc.Fig4N)*400_009+uint64(c)*31)
+		secs := make([]float64, 0, sample.N())
+		for _, v := range sample.Values() {
+			secs = append(secs, p.Seconds(int64(v)))
+		}
+		plot := ttt.New(secs)
+		predicted := "-"
+		if i == 0 {
+			baseMedian = plot.InverseCDF(0.5)
+			basePlot = plot
+		} else {
+			// Verhoeven–Aarts: the K-core distribution should match the
+			// base fit with λ scaled by the core ratio.
+			scaled := basePlot.MinSpeedupConsistent(c / sc.Fig4Cores[0])
+			predicted = fmt.Sprintf("%.4f", scaled.Lambda)
+		}
+		tb.AddRow(fmt.Sprint(c), fmt.Sprint(sample.N()),
+			fmt.Sprintf("%.4f", plot.Mu), fmt.Sprintf("%.4f", plot.Lambda),
+			predicted,
+			fmt.Sprintf("%.3f", plot.KS),
+			fmt.Sprintf("%.0f%%", 100*plot.ProbWithin(baseMedian)))
+		fmt.Printf("\n--- %d cores ---\n%s", c, plot.Render(64, 12))
+	}
+	fmt.Println()
+	fmt.Print(tb.String())
+	note("")
+	note("shape checks: K-S distances stay small (runtimes ≈ shifted exponential);")
+	note("lambda shrinks ≈ linearly with the core count (min of K exponentials);")
+	note("the last column mirrors the paper's reading that the chance of finishing")
+	note("within the 'base' median time grows towards 100%% as cores double.")
+}

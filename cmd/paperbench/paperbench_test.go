@@ -1,0 +1,99 @@
+package main
+
+import "testing"
+
+func TestScalesWellFormed(t *testing.T) {
+	for name, sc := range scales {
+		if sc.Name != name {
+			t.Errorf("scale %q has Name %q", name, sc.Name)
+		}
+		if len(sc.Table1Sizes) == 0 || sc.Table1Runs < 1 ||
+			len(sc.Table2Sizes) == 0 || sc.Table2Runs < 1 ||
+			len(sc.CPSizes) == 0 || sc.CPRuns < 1 ||
+			len(sc.Table3Sizes) == 0 || len(sc.Table3Cores) == 0 || sc.Table3Runs < 1 ||
+			len(sc.Table4Sizes) == 0 || len(sc.Table4Cores) == 0 || sc.Table4Runs < 1 ||
+			len(sc.Table5SunoSizes) == 0 || len(sc.Table5HeliosSizes) == 0 || sc.Table5Runs < 1 ||
+			sc.Fig2N < 2 || len(sc.Fig2Cores) < 2 || sc.Fig2Runs < 1 ||
+			len(sc.Fig3Sizes) == 0 || len(sc.Fig3Cores) < 2 || sc.Fig3Runs < 1 ||
+			sc.Fig4N < 2 || len(sc.Fig4Cores) < 2 || sc.Fig4Runs < 2 ||
+			len(sc.AblationSizes) == 0 || sc.AblationRuns < 1 {
+			t.Errorf("scale %q has empty/invalid fields: %+v", name, sc)
+		}
+		// Core grids must be increasing (speed-up baselines assume it).
+		for _, grid := range [][]int{sc.Table3Cores, sc.Table4Cores, sc.Fig2Cores, sc.Fig3Cores, sc.Fig4Cores} {
+			for i := 1; i < len(grid); i++ {
+				if grid[i] <= grid[i-1] {
+					t.Errorf("scale %q: core grid %v not increasing", name, grid)
+				}
+			}
+		}
+	}
+}
+
+func TestPaperScaleMatchesPublishedGrids(t *testing.T) {
+	sc := scales["paper"]
+	// Table I: n = 16..20, 100 runs.
+	if got, want := sc.Table1Sizes[0], 16; got != want {
+		t.Errorf("paper Table1 starts at %d, want %d", got, want)
+	}
+	if sc.Table1Runs != 100 || sc.Table2Runs != 100 || sc.Table3Runs != 50 || sc.Fig4Runs != 200 {
+		t.Errorf("paper run counts drifted: %+v", sc)
+	}
+	if sc.Fig2N != 22 || sc.Fig4N != 21 {
+		t.Errorf("paper figure instances drifted: Fig2N=%d Fig4N=%d", sc.Fig2N, sc.Fig4N)
+	}
+	if last := sc.Table4Cores[len(sc.Table4Cores)-1]; last != 8192 {
+		t.Errorf("paper JUGENE grid tops at %d, want 8192", last)
+	}
+}
+
+func TestPaperDataInternallyConsistent(t *testing.T) {
+	// Table I rows ordered by n with strictly growing average iterations.
+	for i := 1; i < len(paperTable1); i++ {
+		if paperTable1[i].N != paperTable1[i-1].N+1 {
+			t.Fatal("paper Table I sizes not consecutive")
+		}
+		if paperTable1[i].AvgIters <= paperTable1[i-1].AvgIters {
+			t.Fatal("paper Table I iteration counts not increasing")
+		}
+	}
+	// Table II ratios consistent with the quoted times (±2 %).
+	for _, r := range paperTable2 {
+		ratio := r.DSsec / r.ASsec
+		if ratio < r.Ratio*0.98 || ratio > r.Ratio*1.02 {
+			t.Errorf("paper Table II n=%d: DS/AS %.2f vs quoted %.2f", r.N, ratio, r.Ratio)
+		}
+	}
+	// Parallel tables: times decrease (weakly) as cores grow for the
+	// published rows used in comparisons.
+	for n, row := range paperTable4 {
+		prev := -1.0
+		for _, cores := range []int{512, 1024, 2048, 4096, 8192} {
+			v, ok := row[cores]
+			if !ok {
+				continue
+			}
+			if prev > 0 && v > prev {
+				t.Errorf("paper Table IV n=%d: time rises %f→%f", n, prev, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestTableIIIReferenceAnchors(t *testing.T) {
+	// Spot anchors transcribed from the paper — guards against typos in
+	// paperdata.go silently corrupting the side-by-side output.
+	if paperTable3[20][256] != 2.18 {
+		t.Error("Table III CAP20/256 anchor drifted")
+	}
+	if paperTable4[23][8192] != 170.38 {
+		t.Error("Table IV CAP23/8192 anchor drifted")
+	}
+	if paperTable5Suno[19][256] != 0.219 {
+		t.Error("Table V Suno CAP19/256 anchor drifted")
+	}
+	if paperTable1[4].AvgIters != 20536809 {
+		t.Error("Table I CAP20 iterations anchor drifted")
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// cellSummary measures one (size, cores) cell of a parallel table on the
+// virtual lockstep cluster and returns the makespan sample in iterations.
+func cellSummary(n, cores, runs int, seedBase uint64) stats.Summary {
+	return virtualRuns(n, cores, runs, seedBase).Summarize()
+}
+
+// runParallelTable renders one paper parallel table (III, IV or the two
+// halves of V): rows avg/med/min/max seconds per size, one column per core
+// count, measured on the virtual cluster and mapped to the platform's
+// calibrated iteration rate.
+func runParallelTable(title string, platform cluster.Platform, sizes, coresList []int,
+	runs int, seedSalt uint64, paperRef map[int]map[int]float64) {
+
+	banner(title)
+	note("platform model: %s — %s", platform.String(), platform.Description)
+	note("virtual lockstep cluster, %d runs per cell; seconds = winner iterations / platform rate", runs)
+
+	header := []string{"n", "stat"}
+	for _, c := range coresList {
+		header = append(header, fmt.Sprintf("%d cores", c))
+	}
+	header = append(header, "paper avg (largest col)")
+	tb := report.NewTable("", header...)
+
+	bySize := map[int][]stats.Summary{}
+	for _, n := range sizes {
+		sums := make([]stats.Summary, len(coresList))
+		for ci, c := range coresList {
+			sums[ci] = cellSummary(n, c, runs, uint64(n)*1_000_003+uint64(c)*101+seedSalt)
+		}
+		bySize[n] = sums
+		paperCell := "-"
+		if row, ok := paperRef[n]; ok {
+			if v, ok := row[coresList[len(coresList)-1]]; ok {
+				paperCell = report.Secs(v)
+			}
+		}
+		addStat := func(stat string, pick func(stats.Summary) float64, lastExtra string) {
+			row := []string{fmt.Sprint(n), stat}
+			for ci := range coresList {
+				row = append(row, report.Secs(platform.Seconds(int64(pick(sums[ci])))))
+			}
+			row = append(row, lastExtra)
+			tb.AddRow(row...)
+			// only the first stat row shows n; blank it for the rest
+		}
+		addStat("avg", func(s stats.Summary) float64 { return s.Mean }, paperCell)
+		addStat("med", func(s stats.Summary) float64 { return s.Median }, "")
+		addStat("min", func(s stats.Summary) float64 { return s.Min }, "")
+		addStat("max", func(s stats.Summary) float64 { return s.Max }, "")
+	}
+	fmt.Print(tb.String())
+
+	// Shape check: speed-up across the measured core range.
+	note("")
+	note("shape checks (avg-time speed-ups across the core grid):")
+	for _, n := range sizes {
+		sums := bySize[n]
+		sp := stats.Speedup(sums[0].Mean, sums[len(sums)-1].Mean)
+		ideal := float64(coresList[len(coresList)-1]) / float64(coresList[0])
+		note("  n=%d: ×%.1f from %d→%d cores (ideal ×%.0f)",
+			n, sp, coresList[0], coresList[len(coresList)-1], ideal)
+	}
+	note("the paper reports near-linear speed-ups (e.g. ≈%.0f on 128 cores, ≈%.0f on 256).",
+		paperSpeedup128, paperSpeedup256)
+}
+
+func runTable3(sc Scale) {
+	runParallelTable("Table III — execution times on HA8000 (virtual)",
+		cluster.HA8000, sc.Table3Sizes, sc.Table3Cores, sc.Table3Runs, 333, paperTable3)
+}
+
+func runTable4(sc Scale) {
+	runParallelTable("Table IV — execution times on JUGENE Blue Gene/P (virtual)",
+		cluster.Jugene, sc.Table4Sizes, sc.Table4Cores, sc.Table4Runs, 444, paperTable4)
+}
+
+func runTable5(sc Scale) {
+	runParallelTable("Table V (a) — execution times on GRID'5000 Suno (virtual)",
+		cluster.Suno, sc.Table5SunoSizes, sc.Table3Cores, sc.Table5Runs, 555, paperTable5Suno)
+	heliosCores := []int{}
+	for _, c := range sc.Table3Cores {
+		if c <= cluster.Helios.MaxCores {
+			heliosCores = append(heliosCores, c)
+		}
+	}
+	runParallelTable("Table V (b) — execution times on GRID'5000 Helios (virtual)",
+		cluster.Helios, sc.Table5HeliosSizes, heliosCores, sc.Table5Runs, 556, paperTable5Helios)
+}

@@ -1,0 +1,139 @@
+package main
+
+// Scale is an experiment-size preset. The paper's exact grids (scale
+// "paper") need CPU-days on one machine — e.g. 100 sequential runs of
+// CAP 20 alone are ≈2e9 engine iterations — so the default "laptop" preset
+// shrinks instance sizes and run counts while keeping every structural
+// property under test: exponential growth in n, min ≪ avg, near-linear
+// multi-walk speed-up, halving times per core doubling, exponential
+// runtime distributions. "quick" exists for smoke tests of the harness
+// itself.
+type Scale struct {
+	Name string
+
+	Table1Sizes []int
+	Table1Runs  int
+
+	Table2Sizes []int
+	Table2Runs  int
+
+	CPSizes []int
+	CPRuns  int // local-search runs to average against the (deterministic) CP solver
+
+	Table3Sizes []int
+	Table3Cores []int
+	Table3Runs  int
+
+	Table4Sizes []int
+	Table4Cores []int
+	Table4Runs  int
+
+	Table5SunoSizes   []int
+	Table5HeliosSizes []int
+	Table5Runs        int
+
+	Fig2N     int
+	Fig2Cores []int
+	Fig2Runs  int
+
+	Fig3Sizes []int
+	Fig3Cores []int
+	Fig3Runs  int
+
+	Fig4N     int
+	Fig4Cores []int
+	Fig4Runs  int
+
+	AblationSizes []int
+	AblationRuns  int
+}
+
+var scales = map[string]Scale{
+	"quick": {
+		Name:              "quick",
+		Table1Sizes:       []int{10, 11, 12},
+		Table1Runs:        5,
+		Table2Sizes:       []int{9, 10, 11},
+		Table2Runs:        3,
+		CPSizes:           []int{10, 11, 12},
+		CPRuns:            3,
+		Table3Sizes:       []int{12, 13},
+		Table3Cores:       []int{1, 32, 64},
+		Table3Runs:        3,
+		Table4Sizes:       []int{12, 13},
+		Table4Cores:       []int{512, 1024},
+		Table4Runs:        2,
+		Table5SunoSizes:   []int{12, 13},
+		Table5HeliosSizes: []int{12},
+		Table5Runs:        3,
+		Fig2N:             13,
+		Fig2Cores:         []int{32, 64, 128},
+		Fig2Runs:          5,
+		Fig3Sizes:         []int{12, 13},
+		Fig3Cores:         []int{512, 1024, 2048},
+		Fig3Runs:          2,
+		Fig4N:             13,
+		Fig4Cores:         []int{32, 64},
+		Fig4Runs:          20,
+		AblationSizes:     []int{12},
+		AblationRuns:      5,
+	},
+	"laptop": {
+		Name:              "laptop",
+		Table1Sizes:       []int{13, 14, 15, 16, 17},
+		Table1Runs:        20,
+		Table2Sizes:       []int{10, 11, 12, 13, 14},
+		Table2Runs:        10,
+		CPSizes:           []int{12, 13, 14, 15, 16},
+		CPRuns:            5,
+		Table3Sizes:       []int{14, 15, 16, 17},
+		Table3Cores:       []int{1, 32, 64, 128, 256},
+		Table3Runs:        10,
+		Table4Sizes:       []int{14, 15, 16},
+		Table4Cores:       []int{512, 1024, 2048, 4096, 8192},
+		Table4Runs:        5,
+		Table5SunoSizes:   []int{14, 15, 16, 17},
+		Table5HeliosSizes: []int{14, 15, 16},
+		Table5Runs:        10,
+		Fig2N:             16,
+		Fig2Cores:         []int{32, 64, 128, 256},
+		Fig2Runs:          20,
+		Fig3Sizes:         []int{14, 15, 16},
+		Fig3Cores:         []int{512, 1024, 2048, 4096, 8192},
+		Fig3Runs:          5,
+		Fig4N:             16,
+		Fig4Cores:         []int{32, 64, 128, 256},
+		Fig4Runs:          60,
+		AblationSizes:     []int{13, 14, 15},
+		AblationRuns:      10,
+	},
+	"paper": {
+		Name:              "paper",
+		Table1Sizes:       []int{16, 17, 18, 19, 20},
+		Table1Runs:        100,
+		Table2Sizes:       []int{13, 14, 15, 16, 17, 18},
+		Table2Runs:        100,
+		CPSizes:           []int{14, 16, 18, 19},
+		CPRuns:            20,
+		Table3Sizes:       []int{18, 19, 20, 21, 22},
+		Table3Cores:       []int{1, 32, 64, 128, 256},
+		Table3Runs:        50,
+		Table4Sizes:       []int{21, 22, 23},
+		Table4Cores:       []int{512, 1024, 2048, 4096, 8192},
+		Table4Runs:        50,
+		Table5SunoSizes:   []int{18, 19, 20, 21, 22},
+		Table5HeliosSizes: []int{18, 19, 20, 21, 22},
+		Table5Runs:        50,
+		Fig2N:             22,
+		Fig2Cores:         []int{32, 64, 128, 256},
+		Fig2Runs:          50,
+		Fig3Sizes:         []int{21, 22, 23},
+		Fig3Cores:         []int{512, 1024, 2048, 4096, 8192},
+		Fig3Runs:          50,
+		Fig4N:             21,
+		Fig4Cores:         []int{32, 64, 128, 256},
+		Fig4Runs:          200,
+		AblationSizes:     []int{16, 17, 18},
+		AblationRuns:      50,
+	},
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/cluster"
+	"repro/internal/costas"
+	"repro/internal/csp"
+	"repro/internal/stats"
+	"repro/internal/walk"
+)
+
+// seqRun holds the per-run measurements of one sequential solve.
+type seqRun struct {
+	Iterations int64
+	LocalMin   int64
+	Wall       time.Duration
+	Solved     bool
+}
+
+// modelFactory returns a fresh tuned CAP model factory of order n.
+func modelFactory(n int) func() csp.Model {
+	return func() csp.Model { return costas.New(n, costas.Options{}) }
+}
+
+// sequentialRuns executes `runs` independent sequential solves of CAP n
+// with distinct seeds derived from seedBase.
+func sequentialRuns(n, runs int, seedBase uint64, maxIter int64) []seqRun {
+	out := make([]seqRun, 0, runs)
+	params := costas.TunedParams(n)
+	params.MaxIterations = maxIter
+	for r := 0; r < runs; r++ {
+		m := costas.New(n, costas.Options{})
+		e := adaptive.NewEngine(m, params, seedBase+uint64(r)*0x9E3779B9+1)
+		start := time.Now()
+		solved := e.Solve()
+		out = append(out, seqRun{
+			Iterations: e.Stats().Iterations,
+			LocalMin:   e.Stats().LocalMinima,
+			Wall:       time.Since(start),
+			Solved:     solved,
+		})
+	}
+	return out
+}
+
+// virtualRuns executes `runs` virtual multi-walk solves of CAP n on K
+// lockstep walkers, returning the winner-iteration samples (the virtual
+// makespans).
+func virtualRuns(n, cores, runs int, seedBase uint64) *stats.Sample {
+	s := stats.NewSample()
+	for r := 0; r < runs; r++ {
+		cfg := walk.Config{
+			Walkers:    cores,
+			Params:     costas.TunedParams(n),
+			MasterSeed: seedBase + uint64(r)*0xA5A5A5A5 + 1,
+		}
+		res := walk.Virtual(modelFactory(n), cfg, 0)
+		if !res.Solved {
+			fmt.Fprintf(os.Stderr, "warning: unsolved virtual run n=%d cores=%d\n", n, cores)
+			continue
+		}
+		s.Add(float64(res.WinnerIterations))
+	}
+	return s
+}
+
+// itersToSample converts run records to an iteration sample.
+func itersToSample(runs []seqRun) *stats.Sample {
+	s := stats.NewSample()
+	for _, r := range runs {
+		if r.Solved {
+			s.Add(float64(r.Iterations))
+		}
+	}
+	return s
+}
+
+// secondsOn maps an iteration sample to seconds on a platform.
+func secondsOn(p cluster.Platform, iters float64) float64 {
+	return iters / p.ItersPerSec
+}
+
+// localPlatform lazily measures this machine's engine throughput once per
+// process (≈0.3 s) so experiments can print local wall-clock estimates.
+var localPlatform = func() func() cluster.Platform {
+	var cached *cluster.Platform
+	return func() cluster.Platform {
+		if cached == nil {
+			p := cluster.Local(modelFactory(16), costas.TunedParams(16), 300*time.Millisecond)
+			cached = &p
+		}
+		return *cached
+	}
+}()
+
+// banner prints an experiment header.
+func banner(title string) {
+	fmt.Printf("\n================ %s ================\n\n", title)
+}
+
+// note prints an indented explanatory line.
+func note(format string, args ...any) {
+	fmt.Printf("  %s\n", fmt.Sprintf(format, args...))
+}

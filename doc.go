@@ -1,0 +1,26 @@
+// Package repro is a from-scratch Go reproduction of "Parallel local search
+// for the Costas Array Problem" (Diaz, Richoux, Caniou, Codognet, Abreu —
+// IPDPS Workshops 2012).
+//
+// The library implements the Adaptive Search constraint-based local search
+// method, the paper's Costas Array Problem model (difference triangle,
+// weighted error functions, Chang bound, dedicated reset), the independent
+// multi-walk parallel scheme with first-solution termination, baselines
+// (Dialectic Search, tabu search, hill climbing, a complete CP solver),
+// the classical Welch and Lempel–Golomb algebraic constructions over
+// finite fields, and the statistical apparatus (run aggregation,
+// time-to-target plots with shifted-exponential fits) needed to regenerate
+// every table and figure of the paper's evaluation.
+//
+// Entry points:
+//
+//   - internal/core — the solving facade (see examples/quickstart);
+//   - cmd/costas — CLI solver;
+//   - cmd/enumerate — exhaustive enumeration with published-count oracles;
+//   - cmd/paperbench — regenerates Tables I–V and Figures 2–4;
+//   - bench_test.go (this directory) — testing.B benchmarks, one per
+//     table/figure, plus the §IV-B ablations.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for measured-vs-paper results.
+package repro

@@ -1,0 +1,115 @@
+// Custommodel shows that the Adaptive Search engine is model-generic, as
+// §III of the paper stresses: any problem expressed as variables + error
+// functions can be plugged in. Here we define a fresh model from scratch —
+// the All-Interval Series (CSPLib prob007), one of the three CSPs the paper
+// relates the CAP to — implement the csp.Model interface inline, and solve
+// it with exactly the same engine and multi-walk machinery the CAP uses.
+//
+// (A tuned implementation of this model ships in
+// internal/models/allinterval; the point of this example is the from-
+// scratch wiring, so the model below is written plainly and re-derives its
+// cost on every query.)
+//
+// Run with:
+//
+//	go run ./examples/custommodel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/adaptive"
+	"repro/internal/csp"
+)
+
+// series is a minimal csp.Model for the All-Interval Series: find a
+// permutation s of {0..n−1} whose adjacent absolute differences are all
+// distinct. Cost = number of duplicated differences; a variable is blamed
+// when one of its adjacent differences is duplicated.
+type series struct {
+	cfg []int
+	n   int
+}
+
+func (s *series) Size() int      { return s.n }
+func (s *series) Bind(cfg []int) { s.cfg = cfg }
+func (s *series) Cost() int      { return s.costOf(s.cfg) }
+func (s *series) ExecSwap(i, j int) {
+	s.cfg[i], s.cfg[j] = s.cfg[j], s.cfg[i]
+}
+
+func (s *series) costOf(cfg []int) int {
+	counts := make([]int, s.n)
+	cost := 0
+	for i := 0; i+1 < s.n; i++ {
+		d := cfg[i+1] - cfg[i]
+		if d < 0 {
+			d = -d
+		}
+		counts[d]++
+		if counts[d] > 1 {
+			cost++
+		}
+	}
+	return cost
+}
+
+func (s *series) VarCost(i int) int {
+	counts := make([]int, s.n)
+	for k := 0; k+1 < s.n; k++ {
+		d := s.cfg[k+1] - s.cfg[k]
+		if d < 0 {
+			d = -d
+		}
+		counts[d]++
+	}
+	blame := 0
+	for _, k := range []int{i - 1, i} {
+		if k < 0 || k+1 >= s.n {
+			continue
+		}
+		d := s.cfg[k+1] - s.cfg[k]
+		if d < 0 {
+			d = -d
+		}
+		if counts[d] > 1 {
+			blame++
+		}
+	}
+	return blame
+}
+
+func (s *series) CostIfSwap(i, j int) int {
+	s.cfg[i], s.cfg[j] = s.cfg[j], s.cfg[i]
+	c := s.costOf(s.cfg)
+	s.cfg[i], s.cfg[j] = s.cfg[j], s.cfg[i]
+	return c
+}
+
+var _ csp.Model = (*series)(nil)
+
+func main() {
+	const n = 20
+
+	m := &series{n: n}
+	engine := adaptive.NewEngine(m, adaptive.DefaultParams(), 4242)
+	if !engine.Solve() {
+		log.Fatal("unsolved")
+	}
+	sol := engine.Solution()
+	fmt.Printf("all-interval series of order %d: %v\n", n, sol)
+
+	diffs := make([]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		d := sol[i+1] - sol[i]
+		if d < 0 {
+			d = -d
+		}
+		diffs = append(diffs, d)
+	}
+	fmt.Printf("adjacent |differences|:        %v\n", diffs)
+	fmt.Printf("solved in %d iterations, %d local minima\n",
+		engine.Stats().Iterations, engine.Stats().LocalMinima)
+	fmt.Println("\nsame engine, different model — the Adaptive Search contract of §III.")
+}

@@ -1,0 +1,64 @@
+// Parallelwalks demonstrates the paper's two parallel execution modes on a
+// medium instance:
+//
+//  1. real independent multi-walk on this machine's cores (§V-A: fork one
+//     walker per core, stop everyone when the first solution appears);
+//  2. the virtual lockstep cluster, scaling the same algorithm to core
+//     counts this machine does not have (32 → 256), and mapping virtual
+//     makespans to seconds on the paper's HA8000 — a miniature Table III.
+//
+// Run with:
+//
+//	go run ./examples/parallelwalks
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func main() {
+	const n = 16
+	const runsPerPoint = 5
+
+	// --- Mode 1: real goroutine multi-walk on the machine's cores.
+	workers := runtime.GOMAXPROCS(0)
+	res, err := core.Solve(context.Background(), core.Options{N: n, Walkers: workers, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("real multi-walk: %d walkers on %d hardware threads\n", workers, workers)
+	fmt.Printf("  solved CAP %d by walker %d after %d iterations (%v wall)\n\n",
+		n, res.Winner, res.Iterations, res.WallTime)
+
+	// --- Mode 2: virtual cluster sweep, one row of Table III in miniature.
+	fmt.Printf("virtual cluster sweep for CAP %d (%d runs per point, HA8000 rate %.0f iters/s):\n",
+		n, runsPerPoint, cluster.HA8000.ItersPerSec)
+	fmt.Printf("  %-8s %-14s %-14s %s\n", "cores", "avg virt time", "speedup", "ideal")
+	var base float64
+	for _, cores := range []int{1, 32, 64, 128, 256} {
+		sample := stats.NewSample()
+		for r := 0; r < runsPerPoint; r++ {
+			vres, err := core.Solve(context.Background(), core.Options{
+				N: n, Walkers: cores, Virtual: true, Seed: uint64(cores*1000 + r + 1),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sample.Add(cluster.HA8000.Seconds(vres.Iterations))
+		}
+		mean := sample.Mean()
+		if base == 0 {
+			base = mean
+		}
+		fmt.Printf("  %-8d %-14s ×%-13.1f ×%d\n", cores,
+			fmt.Sprintf("%.4fs", mean), stats.Speedup(base, mean), cores)
+	}
+	fmt.Println("\nexecution times halve (≈) as the core count doubles — Figure 2's shape.")
+}

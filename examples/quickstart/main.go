@@ -1,0 +1,48 @@
+// Quickstart: solve one Costas Array Problem instance with the library's
+// default (paper-tuned) Adaptive Search solver and pretty-print the result
+// the way §II of the paper presents its order-5 example — grid plus
+// difference triangle.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/costas"
+)
+
+func main() {
+	const n = 14
+
+	res, err := core.Solve(context.Background(), core.Options{N: n, Seed: 2026})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Solved {
+		log.Fatal("unsolved — should not happen without an iteration budget")
+	}
+
+	// Print 1-based like the paper's [3,4,2,1,5] example.
+	one := make([]int, n)
+	for i, v := range res.Array {
+		one[i] = v + 1
+	}
+	fmt.Printf("Costas array of order %d: %v\n\n", n, one)
+	fmt.Println(costas.Grid(res.Array))
+
+	fmt.Println("difference triangle (no value repeats within a row):")
+	for d, row := range costas.Triangle(res.Array) {
+		fmt.Printf("  d=%-2d %v\n", d+1, row)
+	}
+
+	s := res.Stats[res.Winner]
+	fmt.Printf("\nsolved in %d iterations (%d local minima, %d resets, %v wall time)\n",
+		res.Iterations, s.LocalMinima, s.Resets, res.WallTime)
+	fmt.Printf("verified: %v\n", core.Verify(res.Array))
+}

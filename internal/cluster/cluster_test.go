@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/costas"
+	"repro/internal/csp"
+)
+
+func TestSecondsConversion(t *testing.T) {
+	p := Platform{Name: "x", ItersPerSec: 1000}
+	if got := p.Seconds(2500); got != 2.5 {
+		t.Fatalf("Seconds(2500) = %v, want 2.5", got)
+	}
+	if p.Seconds(0) != 0 {
+		t.Fatal("zero iterations should be zero seconds")
+	}
+}
+
+func TestPlatformRegistry(t *testing.T) {
+	for _, name := range []string{"t7500", "ha8000", "suno", "helios", "jugene"} {
+		p, ok := Platforms[name]
+		if !ok {
+			t.Fatalf("platform %q missing from registry", name)
+		}
+		if p.ItersPerSec <= 0 || p.MaxCores <= 0 || p.Name == "" || p.Description == "" {
+			t.Fatalf("platform %q incompletely specified: %+v", name, p)
+		}
+	}
+}
+
+func TestCalibrationAgainstPaperTables(t *testing.T) {
+	// The rates must reproduce the sequential CAP-18 seconds of the
+	// paper's tables when fed the paper's Table I iteration count.
+	const iters18 = 395838
+	cases := []struct {
+		p    Platform
+		want float64
+	}{
+		{ReferenceT7500, 3.49}, // Table I
+		{HA8000, 6.76},         // Table III, 1 core
+		{Suno, 5.28},           // Table V, 1 core
+		{Helios, 8.16},         // Table V, 1 core
+	}
+	for _, c := range cases {
+		got := c.p.Seconds(iters18)
+		if got < c.want*0.9 || got > c.want*1.1 {
+			t.Errorf("%s: CAP-18 sequential %.2fs, paper %.2fs (calibration drifted)",
+				c.p.Name, got, c.want)
+		}
+	}
+}
+
+func TestRelativeSpeedOrdering(t *testing.T) {
+	// JUGENE's 850 MHz PowerPC must be the slowest platform; the reference
+	// Xeon the fastest (§V's remark about Blue Gene cores).
+	if !(Jugene.ItersPerSec < Helios.ItersPerSec &&
+		Helios.ItersPerSec < HA8000.ItersPerSec &&
+		HA8000.ItersPerSec < Suno.ItersPerSec &&
+		Suno.ItersPerSec < ReferenceT7500.ItersPerSec) {
+		t.Fatal("platform speed ordering does not match the paper's hardware")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := HA8000.String(); !strings.Contains(s, "HA8000") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestLocalMeasuresPositiveRate(t *testing.T) {
+	factory := func() csp.Model { return costas.New(16, costas.Options{}) }
+	p := Local(factory, costas.TunedParams(16), 50*time.Millisecond)
+	if p.ItersPerSec < 1000 {
+		t.Fatalf("implausible local rate %.0f iters/s", p.ItersPerSec)
+	}
+	if p.Name != "local" {
+		t.Fatalf("local platform name %q", p.Name)
+	}
+	// Zero budget falls back to the default without panicking.
+	p2 := Local(factory, costas.TunedParams(16), 0)
+	if p2.ItersPerSec < 1000 {
+		t.Fatalf("default-budget rate %.0f", p2.ItersPerSec)
+	}
+}

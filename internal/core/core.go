@@ -1,0 +1,159 @@
+// Package core is the public face of the library: one-call solving of
+// Costas Array Problem instances with the paper's Adaptive Search method,
+// sequentially or by independent parallel multi-walk.
+//
+// It wires together the substrates — the CAP model (internal/costas), the
+// Adaptive Search engine (internal/adaptive) and the multi-walk runner
+// (internal/walk) — behind a small options/result API that the examples,
+// CLIs and benchmark harnesses all share.
+//
+// Quickstart:
+//
+//	res, err := core.Solve(context.Background(), core.Options{N: 18})
+//	if err != nil { ... }
+//	fmt.Println(res.Array)   // a Costas array of order 18
+//
+// Parallel (all cores):
+//
+//	res, _ := core.Solve(ctx, core.Options{N: 20, Walkers: runtime.GOMAXPROCS(0)})
+//
+// Simulated cluster (the paper's 256-core HA8000 runs, on a laptop):
+//
+//	res, _ := core.Solve(ctx, core.Options{N: 20, Walkers: 256, Virtual: true})
+//	seconds := cluster.HA8000.Seconds(res.Iterations)
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/costas"
+	"repro/internal/csp"
+	"repro/internal/walk"
+)
+
+// Options selects the instance and the execution mode. The zero value of
+// every field except N has a sensible default.
+type Options struct {
+	// N is the Costas array order to solve (required, ≥ 1).
+	N int
+
+	// Walkers is the number of independent walkers; 0 or 1 solves
+	// sequentially with a single engine.
+	Walkers int
+
+	// Virtual, when true with Walkers > 1, advances walkers in lockstep
+	// virtual time instead of real goroutines — the mode that reproduces
+	// the paper's large-core-count experiments exactly on few cores.
+	Virtual bool
+
+	// Seed is the master seed; runs with equal seeds are reproducible
+	// (bit-identical in sequential and virtual modes). 0 means seed 1 —
+	// explicitness beats a hidden clock, and reproducibility is a design
+	// goal of the whole repository.
+	Seed uint64
+
+	// Params overrides the engine parameters; nil uses the tuned CAP set
+	// (costas.TunedParams).
+	Params *adaptive.Params
+
+	// Model overrides the CAP model options (error function, Chang bound,
+	// reset procedure); the zero value is the tuned model.
+	Model costas.Options
+
+	// CheckEvery is the termination-probe period / lockstep quantum c;
+	// 0 uses the default (64).
+	CheckEvery int
+
+	// MaxIterations bounds each walker; 0 means run until solved.
+	MaxIterations int64
+}
+
+// Result reports a solve outcome.
+type Result struct {
+	// Solved tells whether Array holds a verified Costas array.
+	Solved bool
+	// Array is the solution as a 0-based permutation (column → row).
+	Array []int
+	// Winner is the index of the successful walker (0 when sequential,
+	// −1 when unsolved).
+	Winner int
+	// Iterations is the winning walker's iteration count — the virtual
+	// makespan of the run (what the paper's parallel timings measure).
+	Iterations int64
+	// TotalIterations sums all walkers' iterations (the parallel work).
+	TotalIterations int64
+	// WallTime is the real elapsed time.
+	WallTime time.Duration
+	// Stats holds per-walker engine counters.
+	Stats []adaptive.Stats
+}
+
+// Solve runs the solver described by opts. It returns an error for
+// invalid options; an unsolved Result (within iteration budgets) is not an
+// error.
+func Solve(ctx context.Context, opts Options) (Result, error) {
+	if opts.N < 1 {
+		return Result{}, fmt.Errorf("core: invalid order N=%d", opts.N)
+	}
+	if opts.Walkers < 0 {
+		return Result{}, fmt.Errorf("core: negative walker count %d", opts.Walkers)
+	}
+	params := costas.TunedParams(opts.N)
+	if opts.Params != nil {
+		params = *opts.Params
+	}
+	params.MaxIterations = opts.MaxIterations
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	newModel := func() csp.Model { return costas.New(opts.N, opts.Model) }
+
+	cfg := walk.Config{
+		Walkers:    opts.Walkers,
+		CheckEvery: opts.CheckEvery,
+		Params:     params,
+		MasterSeed: seed,
+	}
+
+	var wres walk.Result
+	if opts.Virtual && cfg.Walkers > 1 {
+		wres = walk.Virtual(newModel, cfg, 0)
+	} else {
+		wres = walk.Parallel(ctx, newModel, cfg)
+	}
+
+	res := Result{
+		Solved:          wres.Solved,
+		Array:           wres.Solution,
+		Winner:          wres.Winner,
+		Iterations:      wres.WinnerIterations,
+		TotalIterations: wres.TotalIterations,
+		WallTime:        wres.WallTime,
+		Stats:           wres.Stats,
+	}
+	if res.Solved && !costas.IsCostas(res.Array) {
+		// Cannot happen unless a model/engine invariant is broken; fail
+		// loudly rather than hand the caller a bad array.
+		return res, fmt.Errorf("core: internal error — claimed solution %v is not a Costas array", res.Array)
+	}
+	return res, nil
+}
+
+// SolveSequential is shorthand for a single-walker Solve with the given
+// order and seed.
+func SolveSequential(n int, seed uint64) (Result, error) {
+	return Solve(context.Background(), Options{N: n, Seed: seed})
+}
+
+// Verify reports whether perm is a Costas array (a re-export of the model
+// package's verifier so facade users need only one import).
+func Verify(perm []int) bool { return costas.IsCostas(perm) }
+
+// Construct returns a Costas array of order n built by a classical
+// algebraic construction (Welch or Lempel–Golomb), or nil if no
+// construction covers n — the gaps are exactly why search matters (§II).
+func Construct(n int) []int { return costas.ConstructAny(n) }

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/costas"
+)
+
+func TestSolveSequential(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 10, 13} {
+		res, err := SolveSequential(n, 7)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !res.Solved || !Verify(res.Array) {
+			t.Fatalf("n=%d: bad result %+v", n, res)
+		}
+		if res.Winner != 0 || len(res.Stats) != 1 {
+			t.Fatalf("n=%d: sequential run bookkeeping wrong: %+v", n, res)
+		}
+	}
+}
+
+func TestSolveParallel(t *testing.T) {
+	res, err := Solve(context.Background(), Options{N: 12, Walkers: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved || !Verify(res.Array) {
+		t.Fatalf("parallel solve failed: %+v", res)
+	}
+	if len(res.Stats) != 4 {
+		t.Fatalf("expected 4 walker stats, got %d", len(res.Stats))
+	}
+}
+
+func TestSolveVirtualDeterministic(t *testing.T) {
+	opts := Options{N: 13, Walkers: 32, Virtual: true, Seed: 11}
+	r1, err := Solve(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := Solve(context.Background(), opts)
+	if !r1.Solved || r1.Iterations != r2.Iterations || r1.Winner != r2.Winner {
+		t.Fatalf("virtual mode not reproducible: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestSolveValidatesOptions(t *testing.T) {
+	if _, err := Solve(context.Background(), Options{N: 0}); err == nil {
+		t.Fatal("accepted N=0")
+	}
+	if _, err := Solve(context.Background(), Options{N: 5, Walkers: -1}); err == nil {
+		t.Fatal("accepted negative walkers")
+	}
+}
+
+func TestSolveRespectsMaxIterations(t *testing.T) {
+	res, err := Solve(context.Background(), Options{N: 19, MaxIterations: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Solved {
+		t.Skip("improbably lucky run")
+	}
+	if res.Iterations != 0 || res.TotalIterations > 100 {
+		t.Fatalf("budget ignored: %+v", res)
+	}
+}
+
+func TestSolveCustomParamsAndModel(t *testing.T) {
+	p := adaptive.DefaultParams()
+	p.PlateauProb = 0.95
+	res, err := Solve(context.Background(), Options{
+		N:      10,
+		Seed:   2,
+		Params: &p,
+		Model:  costas.Options{Err: costas.ErrQuadratic, FullTriangle: true},
+	})
+	if err != nil || !res.Solved {
+		t.Fatalf("custom options solve failed: %v %+v", err, res)
+	}
+}
+
+func TestSeedZeroMeansOne(t *testing.T) {
+	a, _ := SolveSequential(11, 0)
+	b, _ := SolveSequential(11, 1)
+	if a.Iterations != b.Iterations {
+		t.Fatalf("seed 0 (%d iters) should behave as seed 1 (%d iters)", a.Iterations, b.Iterations)
+	}
+}
+
+func TestConstructFacade(t *testing.T) {
+	p := Construct(12) // 13 is prime → Welch order 12
+	if p == nil || !Verify(p) {
+		t.Fatalf("Construct(12) = %v", p)
+	}
+	if Construct(0) != nil {
+		t.Fatal("Construct(0) should be nil")
+	}
+}

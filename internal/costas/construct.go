@@ -1,0 +1,154 @@
+package costas
+
+import (
+	"fmt"
+
+	"repro/internal/gf"
+)
+
+// This file implements the classical algebraic Costas-array constructions
+// discussed in §II of the paper (Golomb 1984, Golomb & Taylor 1984): they
+// produce Costas arrays for orders derived from primes and prime powers but
+// — as the paper stresses — cannot build arrays of every order (32 and 33
+// remain open), which is why search methods matter. Here they provide
+// ground-truth solutions and seeds for tests and examples.
+
+// Welch returns the exponential Welch construction W1(p, g, c): for a prime
+// p ≥ 3, a primitive root g modulo p and a shift 0 ≤ c < p−1, the
+// permutation of order n = p−1 defined by
+//
+//	V[i] = g^(i+c) mod p − 1,   i = 0..p−2  (0-based values)
+//
+// is a Costas array.
+func Welch(p, g, c int) ([]int, error) {
+	if !gf.IsPrime(p) || p < 3 {
+		return nil, fmt.Errorf("costas: Welch needs a prime p ≥ 3, got %d", p)
+	}
+	f, err := gf.NewField(p)
+	if err != nil {
+		return nil, err
+	}
+	if !f.IsPrimitive(g % p) {
+		return nil, fmt.Errorf("costas: %d is not a primitive root modulo %d", g, p)
+	}
+	n := p - 1
+	perm := make([]int, n)
+	x := f.Pow(g%p, c%(p-1))
+	for i := 0; i < n; i++ {
+		perm[i] = x - 1
+		x = f.Mul(x, g%p)
+	}
+	if !IsCostas(perm) {
+		return nil, fmt.Errorf("costas: internal error, Welch(%d,%d,%d) not Costas", p, g, c)
+	}
+	return perm, nil
+}
+
+// WelchFirst returns a Welch Costas array of order p−1 using the smallest
+// primitive root of p and zero shift.
+func WelchFirst(p int) ([]int, error) {
+	f, err := gf.NewField(p)
+	if err != nil {
+		return nil, err
+	}
+	return Welch(p, f.Generator(), 0)
+}
+
+// Golomb returns the Lempel–Golomb construction G2(q, α, β): for a prime
+// power q ≥ 4 and primitive elements α, β of GF(q), the permutation of order
+// n = q−2 defined by
+//
+//	V[i−1] = j−1  where  α^i + β^j = 1,   i, j ∈ {1..q−2}
+//
+// is a Costas array. When α == β this is the symmetric Lempel construction.
+func Golomb(q, alpha, beta int) ([]int, error) {
+	f, err := gf.NewField(q)
+	if err != nil {
+		return nil, err
+	}
+	if q < 4 {
+		return nil, fmt.Errorf("costas: Golomb needs q ≥ 4, got %d", q)
+	}
+	if !f.IsPrimitive(alpha) || !f.IsPrimitive(beta) {
+		return nil, fmt.Errorf("costas: Golomb needs primitive α, β in GF(%d)", q)
+	}
+	n := q - 2
+	perm := make([]int, n)
+	for i := 1; i <= n; i++ {
+		// Solve β^j = 1 − α^i. The right side is never 0 (α^i = 1 only at
+		// i ≡ 0 mod q−1) so the discrete log exists; j ∈ {1..q−2} because
+		// j = 0 would give α^i = 0, impossible.
+		rhs := f.Sub(1, f.Pow(alpha, i))
+		j := f.Log(rhs)
+		// Log returns an exponent of the field's own generator; convert to
+		// base β: β = g^t  ⇒  β^j = g^(t·j)  ⇒  j = log_g(rhs)·t⁻¹ mod q−1.
+		tb := f.Log(beta)
+		jj := mulInvMod(tb, q-1)
+		j = j * jj % (q - 1)
+		if j == 0 {
+			return nil, fmt.Errorf("costas: internal error, Golomb log hit 0")
+		}
+		perm[i-1] = j - 1
+	}
+	if !IsCostas(perm) {
+		return nil, fmt.Errorf("costas: internal error, Golomb(%d,%d,%d) not Costas", q, alpha, beta)
+	}
+	return perm, nil
+}
+
+// GolombFirst returns a Golomb Costas array of order q−2 using the first
+// pair of primitive elements of GF(q).
+func GolombFirst(q int) ([]int, error) {
+	f, err := gf.NewField(q)
+	if err != nil {
+		return nil, err
+	}
+	g := f.Generator()
+	return Golomb(q, g, g) // Lempel case: symmetric, always valid
+}
+
+// mulInvMod returns the multiplicative inverse of a modulo m (gcd(a,m)=1).
+func mulInvMod(a, m int) int {
+	// Extended Euclid.
+	t, newT := 0, 1
+	r, newR := m, a%m
+	for newR != 0 {
+		quot := r / newR
+		t, newT = newT, t-quot*newT
+		r, newR = newR, r-quot*newR
+	}
+	if r != 1 {
+		panic(fmt.Sprintf("costas: %d not invertible mod %d", a, m))
+	}
+	if t < 0 {
+		t += m
+	}
+	return t
+}
+
+// ConstructAny returns a Costas array of order n via any applicable
+// algebraic construction (Welch for n = p−1, Golomb for n = q−2), or nil if
+// no classical construction covers n. Used by tests as ground truth and by
+// the radar example to obtain large waveforms instantly.
+func ConstructAny(n int) []int {
+	if n < 1 {
+		return nil
+	}
+	if n == 1 {
+		return []int{0}
+	}
+	if n == 2 {
+		return []int{0, 1}
+	}
+	if gf.IsPrime(n + 1) {
+		if p, err := WelchFirst(n + 1); err == nil {
+			return p
+		}
+	}
+	if _, err := gf.NewField(n + 2); err == nil {
+		if p, err := GolombFirst(n + 2); err == nil {
+			return p
+		}
+	}
+	return nil
+}

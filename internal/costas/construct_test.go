@@ -1,0 +1,135 @@
+package costas
+
+import "testing"
+
+func TestWelchKnownPrimes(t *testing.T) {
+	for _, p := range []int{3, 5, 7, 11, 13, 17, 19, 23, 29, 31} {
+		perm, err := WelchFirst(p)
+		if err != nil {
+			t.Fatalf("WelchFirst(%d): %v", p, err)
+		}
+		if len(perm) != p-1 {
+			t.Fatalf("WelchFirst(%d) order %d, want %d", p, len(perm), p-1)
+		}
+		if !IsCostas(perm) {
+			t.Fatalf("WelchFirst(%d) = %v is not Costas", p, perm)
+		}
+	}
+}
+
+func TestWelchAllShifts(t *testing.T) {
+	// Every cyclic shift c of the Welch construction is Costas.
+	const p = 11
+	for c := 0; c < p-1; c++ {
+		perm, err := Welch(p, 2, c) // 2 is a primitive root mod 11
+		if err != nil {
+			t.Fatalf("Welch(11,2,%d): %v", c, err)
+		}
+		if !IsCostas(perm) {
+			t.Fatalf("Welch(11,2,%d) = %v not Costas", c, perm)
+		}
+	}
+}
+
+func TestWelchRejectsNonPrimitive(t *testing.T) {
+	// 3 has order 5 mod 11 (3^5 = 243 = 1 mod 11): not primitive.
+	if _, err := Welch(11, 3, 0); err == nil {
+		t.Fatal("Welch accepted non-primitive root 3 mod 11")
+	}
+}
+
+func TestWelchRejectsComposite(t *testing.T) {
+	if _, err := Welch(10, 3, 0); err == nil {
+		t.Fatal("Welch accepted composite p")
+	}
+}
+
+func TestGolombPrimeFields(t *testing.T) {
+	for _, q := range []int{5, 7, 11, 13, 17, 19, 23} {
+		perm, err := GolombFirst(q)
+		if err != nil {
+			t.Fatalf("GolombFirst(%d): %v", q, err)
+		}
+		if len(perm) != q-2 {
+			t.Fatalf("GolombFirst(%d) order %d, want %d", q, len(perm), q-2)
+		}
+		if !IsCostas(perm) {
+			t.Fatalf("GolombFirst(%d) = %v not Costas", q, perm)
+		}
+	}
+}
+
+func TestGolombExtensionFields(t *testing.T) {
+	// Prime-power orders exercise the GF(p^m) arithmetic: GF(8), GF(9),
+	// GF(16), GF(25), GF(27), GF(32).
+	for _, q := range []int{4, 8, 9, 16, 25, 27, 32} {
+		perm, err := GolombFirst(q)
+		if err != nil {
+			t.Fatalf("GolombFirst(%d): %v", q, err)
+		}
+		if len(perm) != q-2 || !IsCostas(perm) {
+			t.Fatalf("GolombFirst(%d) = %v invalid", q, perm)
+		}
+	}
+}
+
+func TestGolombDistinctPrimitivePairs(t *testing.T) {
+	// α ≠ β pairs must also work (the general G2 construction).
+	perm, err := Golomb(11, 2, 8) // both primitive mod 11
+	if err != nil {
+		t.Fatalf("Golomb(11,2,8): %v", err)
+	}
+	if !IsCostas(perm) {
+		t.Fatalf("Golomb(11,2,8) = %v not Costas", perm)
+	}
+}
+
+func TestGolombRejectsBadInputs(t *testing.T) {
+	if _, err := Golomb(6, 2, 2); err == nil {
+		t.Fatal("Golomb accepted non-prime-power order 6")
+	}
+	if _, err := Golomb(11, 4, 2); err == nil {
+		t.Fatal("Golomb accepted non-primitive α = 4 mod 11 (order 5)")
+	}
+}
+
+func TestConstructAnyCoverage(t *testing.T) {
+	covered := 0
+	for n := 1; n <= 30; n++ {
+		p := ConstructAny(n)
+		if p == nil {
+			continue
+		}
+		covered++
+		if len(p) != n || !IsCostas(p) {
+			t.Fatalf("ConstructAny(%d) = %v invalid", n, p)
+		}
+	}
+	// Welch covers n = p−1 and Golomb n = q−2; between 1 and 30 that is
+	// most orders (the gaps motivate search methods).
+	if covered < 20 {
+		t.Fatalf("constructions cover only %d/30 orders", covered)
+	}
+}
+
+func TestConstructAgreesWithEnumeration(t *testing.T) {
+	// Constructed arrays of enumerable orders must appear in the exhaustive
+	// enumeration (sanity of both code paths).
+	for _, n := range []int{4, 6, 9, 10} {
+		want := ConstructAny(n)
+		if want == nil {
+			continue
+		}
+		found := false
+		Enumerate(n, func(p []int) bool {
+			if equalPerm(p, want) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			t.Fatalf("constructed order-%d array %v not found by enumeration", n, want)
+		}
+	}
+}

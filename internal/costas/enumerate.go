@@ -1,0 +1,217 @@
+package costas
+
+import "sort"
+
+// Enumerate runs exhaustive backtracking over all Costas arrays of order n,
+// invoking visit for each one found (the slice is reused; callers must copy
+// if they retain it). If visit returns false, enumeration stops early.
+//
+// The search places marks column by column; a per-row bitset of difference
+// values makes the consistency check O(depth) per placement. Orders up to
+// ≈13 enumerate in well under a second, which is what the test oracles use.
+func Enumerate(n int, visit func(perm []int) bool) {
+	if n <= 0 {
+		return
+	}
+	if n > 32 {
+		// The bitset representation holds 2n−1 ≤ 63 difference values per
+		// row for n ≤ 32; larger orders are far beyond exhaustive search
+		// anyway (n = 29 was a distributed-computing effort).
+		panic("costas: Enumerate limited to n ≤ 32")
+	}
+	e := &enumerator{
+		n:     n,
+		perm:  make([]int, n),
+		used:  make([]bool, n),
+		rows:  make([]uint64, n),
+		visit: visit,
+	}
+	e.place(0)
+}
+
+type enumerator struct {
+	n     int
+	perm  []int
+	used  []bool
+	rows  []uint64 // rows[d] = bitset of differences seen in triangle row d
+	visit func([]int) bool
+	done  bool
+}
+
+func (e *enumerator) place(col int) {
+	if e.done {
+		return
+	}
+	if col == e.n {
+		if !e.visit(e.perm) {
+			e.done = true
+		}
+		return
+	}
+	for v := 0; v < e.n; v++ {
+		if e.used[v] {
+			continue
+		}
+		// Check differences against all earlier columns.
+		ok := true
+		for d := 1; d <= col; d++ {
+			bit := uint64(1) << uint(v-e.perm[col-d]+e.n-1)
+			if e.rows[d]&bit != 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Commit.
+		e.perm[col] = v
+		e.used[v] = true
+		for d := 1; d <= col; d++ {
+			e.rows[d] |= uint64(1) << uint(v-e.perm[col-d]+e.n-1)
+		}
+		e.place(col + 1)
+		// Undo.
+		for d := 1; d <= col; d++ {
+			e.rows[d] &^= uint64(1) << uint(v-e.perm[col-d]+e.n-1)
+		}
+		e.used[v] = false
+		if e.done {
+			return
+		}
+	}
+}
+
+// Count returns the total number of Costas arrays of order n by exhaustive
+// enumeration.
+func Count(n int) int {
+	total := 0
+	Enumerate(n, func([]int) bool { total++; return true })
+	return total
+}
+
+// First returns one Costas array of order n found by backtracking, or nil
+// if none exists (or n == 0).
+func First(n int) []int {
+	var out []int
+	Enumerate(n, func(p []int) bool {
+		out = append([]int(nil), p...)
+		return false
+	})
+	return out
+}
+
+// --- Dihedral symmetry -----------------------------------------------------
+//
+// The symmetry group of the square (order 8) acts on Costas arrays: the
+// paper (§II) quotes 164 total vs 23 symmetry-unique arrays at n = 29.
+
+// Reverse returns the left-right reflection W[i] = V[n−1−i]. Costas-ness is
+// preserved.
+func Reverse(perm []int) []int {
+	n := len(perm)
+	out := make([]int, n)
+	for i, v := range perm {
+		out[n-1-i] = v
+	}
+	return out
+}
+
+// Complement returns the up-down reflection W[i] = n−1−V[i].
+func Complement(perm []int) []int {
+	n := len(perm)
+	out := make([]int, n)
+	for i, v := range perm {
+		out[i] = n - 1 - v
+	}
+	return out
+}
+
+// Transpose returns the inverse permutation (reflection across the main
+// diagonal): W[V[i]] = i.
+func Transpose(perm []int) []int {
+	out := make([]int, len(perm))
+	for i, v := range perm {
+		out[v] = i
+	}
+	return out
+}
+
+// SymmetryOrbit returns the full dihedral orbit of perm — up to 8 distinct
+// arrays, sorted lexicographically and deduplicated.
+func SymmetryOrbit(perm []int) [][]int {
+	base := append([]int(nil), perm...)
+	variants := make([][]int, 0, 8)
+	cur := base
+	for r := 0; r < 4; r++ {
+		variants = append(variants, cur, Transpose(cur))
+		cur = rotate90(cur)
+	}
+	sort.Slice(variants, func(i, j int) bool { return lexLess(variants[i], variants[j]) })
+	out := variants[:0]
+	for i, v := range variants {
+		if i == 0 || !equalPerm(out[len(out)-1], v) {
+			out = append(out, v)
+		}
+	}
+	// Re-slice into a fresh header to avoid exposing the shared backing.
+	return append([][]int(nil), out...)
+}
+
+// rotate90 rotates the grid by 90°: mark (col, row) → (row, n−1−col), i.e.
+// W = Reverse(Transpose(V)) ... computed directly for clarity.
+func rotate90(perm []int) []int {
+	n := len(perm)
+	out := make([]int, n)
+	for col, row := range perm {
+		out[row] = n - 1 - col
+	}
+	return out
+}
+
+// Canonical returns the lexicographically smallest member of perm's
+// dihedral orbit — the canonical representative of its symmetry class.
+func Canonical(perm []int) []int {
+	orbit := SymmetryOrbit(perm)
+	return orbit[0]
+}
+
+// CountUnique returns the number of symmetry classes of Costas arrays of
+// order n, by exhaustive enumeration with canonical-form deduplication.
+func CountUnique(n int) int {
+	seen := map[string]bool{}
+	Enumerate(n, func(p []int) bool {
+		seen[permKey(Canonical(p))] = true
+		return true
+	})
+	return len(seen)
+}
+
+func permKey(p []int) string {
+	b := make([]byte, len(p))
+	for i, v := range p {
+		b[i] = byte(v)
+	}
+	return string(b)
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func equalPerm(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,260 @@
+package costas
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCountMatchesKnown(t *testing.T) {
+	max := 11
+	if testing.Short() {
+		max = 9
+	}
+	for n := 1; n <= max; n++ {
+		if got, want := Count(n), KnownCounts[n]; got != want {
+			t.Errorf("Count(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCountN12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=12 enumeration skipped in -short mode")
+	}
+	if got, want := Count(12), KnownCounts[12]; got != want {
+		t.Errorf("Count(12) = %d, want %d", got, want)
+	}
+}
+
+func TestCountUniqueMatchesKnown(t *testing.T) {
+	max := 10
+	if testing.Short() {
+		max = 8
+	}
+	for n := 1; n <= max; n++ {
+		if got, want := CountUnique(n), KnownUniqueCounts[n]; got != want {
+			t.Errorf("CountUnique(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestEnumerateAllAreCostas(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		Enumerate(n, func(p []int) bool {
+			if !IsCostas(p) {
+				t.Fatalf("Enumerate(%d) emitted non-Costas %v", n, p)
+			}
+			return true
+		})
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	calls := 0
+	Enumerate(8, func(p []int) bool {
+		calls++
+		return calls < 5
+	})
+	if calls != 5 {
+		t.Fatalf("early stop after %d calls, want 5", calls)
+	}
+}
+
+func TestFirstReturnsCostas(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		p := First(n)
+		if p == nil {
+			t.Fatalf("First(%d) = nil, arrays exist", n)
+		}
+		if len(p) != n || !IsCostas(p) {
+			t.Fatalf("First(%d) = %v invalid", n, p)
+		}
+	}
+}
+
+func TestSymmetryPreservesCostas(t *testing.T) {
+	Enumerate(8, func(p []int) bool {
+		for _, q := range [][]int{Reverse(p), Complement(p), Transpose(p), rotate90(p)} {
+			if !IsCostas(q) {
+				t.Fatalf("symmetry image %v of %v is not Costas", q, p)
+			}
+		}
+		return true
+	})
+}
+
+func TestSymmetryOrbitProperties(t *testing.T) {
+	p := First(7)
+	orbit := SymmetryOrbit(p)
+	if len(orbit) == 0 || len(orbit) > 8 {
+		t.Fatalf("orbit size %d out of range", len(orbit))
+	}
+	// Orbit must contain the original.
+	found := false
+	for _, q := range orbit {
+		if equalPerm(q, p) {
+			found = true
+		}
+		if !IsCostas(q) {
+			t.Fatalf("orbit member %v not Costas", q)
+		}
+	}
+	if !found {
+		t.Fatal("orbit does not contain the original array")
+	}
+	// Sorted and deduplicated.
+	for i := 1; i < len(orbit); i++ {
+		if !lexLess(orbit[i-1], orbit[i]) {
+			t.Fatalf("orbit not strictly sorted at %d", i)
+		}
+	}
+}
+
+func TestCanonicalIsInvariant(t *testing.T) {
+	p := First(9)
+	c := Canonical(p)
+	for _, q := range SymmetryOrbit(p) {
+		if !equalPerm(Canonical(q), c) {
+			t.Fatalf("canonical of orbit member %v differs", q)
+		}
+	}
+}
+
+func TestOrbitSizesDivideGroupOrder(t *testing.T) {
+	// Orbit sizes must divide 8 (orbit-stabiliser theorem).
+	Enumerate(7, func(p []int) bool {
+		size := len(SymmetryOrbit(p))
+		if 8%size != 0 {
+			t.Fatalf("orbit size %d of %v does not divide 8", size, p)
+		}
+		return true
+	})
+}
+
+func TestTotalEqualsSumOfOrbitSizes(t *testing.T) {
+	// Counting arrays by canonical class and orbit size must reproduce the
+	// total count — a strong consistency check between the enumerator and
+	// the symmetry machinery.
+	for n := 4; n <= 9; n++ {
+		orbitSize := map[string]int{}
+		Enumerate(n, func(p []int) bool {
+			key := permKey(Canonical(p))
+			if _, seen := orbitSize[key]; !seen {
+				orbitSize[key] = len(SymmetryOrbit(p))
+			}
+			return true
+		})
+		total := 0
+		for _, s := range orbitSize {
+			total += s
+		}
+		if total != KnownCounts[n] {
+			t.Errorf("n=%d: Σ orbit sizes = %d, want %d", n, total, KnownCounts[n])
+		}
+		if len(orbitSize) != KnownUniqueCounts[n] {
+			t.Errorf("n=%d: %d classes, want %d", n, len(orbitSize), KnownUniqueCounts[n])
+		}
+	}
+}
+
+func TestTransposeIsInverse(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		// Transpose twice = identity on any permutation.
+		n := int(seedRaw%12) + 2
+		p := make([]int, n)
+		for i := range p {
+			p[i] = (i*7 + int(seedRaw)) % n
+		}
+		// p may not be a permutation; build one deterministically instead.
+		for i := range p {
+			p[i] = i
+		}
+		p[0], p[n-1] = p[n-1], p[0]
+		return equalPerm(Transpose(Transpose(p)), p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViolationsZeroIffCostas(t *testing.T) {
+	Enumerate(8, func(p []int) bool {
+		if Violations(p) != 0 {
+			t.Fatalf("Violations(%v) != 0 on Costas array", p)
+		}
+		return true
+	})
+	notCostas := []int{0, 1, 2, 3, 4} // arithmetic progression: maximally repetitive
+	if Violations(notCostas) == 0 {
+		t.Fatal("Violations = 0 on a non-Costas permutation")
+	}
+}
+
+func TestGridRendering(t *testing.T) {
+	// Paper's example rendered and re-parsed.
+	p := []int{2, 3, 1, 0, 4}
+	g := Grid(p)
+	lines := 0
+	marks := 0
+	for _, ch := range g {
+		switch ch {
+		case '\n':
+			lines++
+		case 'X':
+			marks++
+		}
+	}
+	if lines != 5 || marks != 5 {
+		t.Fatalf("Grid: %d lines, %d marks, want 5/5:\n%s", lines, marks, g)
+	}
+}
+
+func TestTriangleMatchesPaperExample(t *testing.T) {
+	// §IV-A shows the triangle for [3,4,2,1,5] (1-based). Differences are
+	// invariant under the 1→0 base shift.
+	p := []int{2, 3, 1, 0, 4}
+	tri := Triangle(p)
+	want := [][]int{
+		{1, -2, -1, 4},
+		{-1, -3, 3},
+		{-2, 1},
+		{2},
+	}
+	if len(tri) != len(want) {
+		t.Fatalf("triangle has %d rows, want %d", len(tri), len(want))
+	}
+	for d, row := range want {
+		if !equalPerm(tri[d], row) {
+			t.Fatalf("triangle row d=%d is %v, want %v", d+1, tri[d], row)
+		}
+	}
+}
+
+func TestIsCostasRejectsNonPermutation(t *testing.T) {
+	if IsCostas([]int{0, 0, 1}) {
+		t.Fatal("accepted a non-permutation")
+	}
+	if IsCostas([]int{0, 1, 5}) {
+		t.Fatal("accepted out-of-range values")
+	}
+}
+
+func TestIsCostasSmallOrders(t *testing.T) {
+	if !IsCostas([]int{}) {
+		t.Fatal("empty array should be (vacuously) Costas")
+	}
+	if !IsCostas([]int{0}) {
+		t.Fatal("order 1 should be Costas")
+	}
+	if !IsCostas([]int{0, 1}) || !IsCostas([]int{1, 0}) {
+		t.Fatal("order 2 arrays should be Costas")
+	}
+}
+
+func BenchmarkEnumerate10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if Count(10) != KnownCounts[10] {
+			b.Fatal("wrong count")
+		}
+	}
+}

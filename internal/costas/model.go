@@ -1,0 +1,563 @@
+// Package costas implements the Costas Array Problem (CAP) in the Adaptive
+// Search formalism of §IV of the paper, together with the supporting
+// substrate: verification, exact enumeration with known counts as oracles,
+// dihedral symmetry classes, and the classical Welch and Lempel–Golomb
+// algebraic constructions.
+//
+// A Costas array of order n is an n×n grid with one mark per row and column
+// such that the n(n−1)/2 displacement vectors between marks are pairwise
+// distinct. As a permutation V of {0..n−1}, the condition is that every row
+// d of the *difference triangle* — the values V[i+d]−V[i] for
+// i = 0..n−1−d — contains no repeated value.
+package costas
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/csp"
+	"repro/internal/rng"
+)
+
+// ErrFunc selects the per-row error weight ERR(d) charged for each repeated
+// difference in row d (§IV-A/B of the paper).
+type ErrFunc int
+
+const (
+	// ErrUnit is ERR(d) = 1: the basic model that simply counts repeats.
+	// It is the default because, with this repository's engine dynamics,
+	// it measures consistently faster than the quadratic weighting (see
+	// the ablation benches and EXPERIMENTS.md; this is a documented
+	// deviation from the paper's ≈17 % claim for its C implementation).
+	ErrUnit ErrFunc = iota
+	// ErrQuadratic is ERR(d) = n²−d², the paper's tuned weight: it
+	// penalises errors in the first rows (those containing more
+	// differences) harder.
+	ErrQuadratic
+)
+
+// Options tune the CAP model; the zero value is this library's tuned
+// configuration (unit errors, Chang bound on, custom reset on).
+type Options struct {
+	// Err selects the error weight function.
+	Err ErrFunc
+	// FullTriangle disables Chang's optimisation and checks all n−1 rows
+	// of the difference triangle instead of the sufficient first
+	// ⌊(n−1)/2⌋ (§IV-B; ≈30 % slower, used by the ablation bench).
+	FullTriangle bool
+	// GenericReset disables the dedicated 3-perturbation reset procedure of
+	// §IV-B2, falling back to the engine's generic percentage reset
+	// (≈3.7× slower, used by the ablation bench).
+	GenericReset bool
+}
+
+// Model is the CAP as a csp.Model with O(n) incremental move evaluation.
+//
+// It maintains, for each checked row d of the difference triangle, a
+// multiset counter of the difference values present in the row. The global
+// cost is
+//
+//	cost = Σ_d Σ_v max(0, count_d(v)−1) · ERR(d)
+//
+// i.e. every occurrence of a value after the first in its row is one error
+// weighted by ERR(d) — exactly the left-to-right accounting of §IV-A.
+type Model struct {
+	n     int
+	depth int   // number of triangle rows checked (Chang bound or n−1)
+	w     []int // w[d] = ERR(d), d = 1..depth (index 0 unused)
+
+	cfg []int // bound configuration (shared with the engine)
+
+	// cnt[d][v + n − 1] = occurrences of difference v in row d.
+	cnt  [][]int
+	cost int
+
+	varCost  []int
+	varDirty bool
+
+	genericReset bool
+
+	// Scratch space (no allocation on the hot path).
+	undo      []undoEntry
+	cand      []int // candidate configuration built by Reset
+	best      []int // best candidate seen by Reset
+	errVars   []int // indices of erroneous variables (Reset perturbation 3)
+	seenReset []int // per-row seen marks for scanCost; value = generation tag
+	seenGen   int
+}
+
+type undoEntry struct {
+	d, idx, delta int
+}
+
+// New returns a CAP model of order n with the given options.
+// It panics if n < 1 — callers validate user input before this point.
+func New(n int, opts Options) *Model {
+	if n < 1 {
+		panic(fmt.Sprintf("costas: invalid order %d", n))
+	}
+	depth := ChangDepth(n)
+	if opts.FullTriangle {
+		depth = n - 1
+	}
+	m := &Model{
+		n:            n,
+		depth:        depth,
+		w:            make([]int, depth+1),
+		cnt:          make([][]int, depth+1),
+		varCost:      make([]int, n),
+		genericReset: opts.GenericReset,
+		cand:         make([]int, n),
+		best:         make([]int, n),
+		seenReset:    make([]int, (depth+1)*(2*n-1)),
+	}
+	for d := 1; d <= depth; d++ {
+		if opts.Err == ErrUnit {
+			m.w[d] = 1
+		} else {
+			m.w[d] = n*n - d*d
+		}
+		m.cnt[d] = make([]int, 2*n-1)
+	}
+	return m
+}
+
+// ChangDepth returns ⌊(n−1)/2⌋, the number of leading triangle rows whose
+// distinctness suffices for the full Costas property (Chang 1987): a repeat
+// at distance d implies a repeat at distance d' ≤ n−1−d, so any violation
+// surfaces in the first half of the triangle.
+func ChangDepth(n int) int {
+	d := (n - 1) / 2
+	if d < 1 {
+		d = 1 // degenerate n ≤ 2: a single (possibly empty) row
+	}
+	if d > n-1 {
+		d = n - 1
+	}
+	if n == 1 {
+		return 0
+	}
+	return d
+}
+
+// Size implements csp.Model.
+func (m *Model) Size() int { return m.n }
+
+// Bind implements csp.Model: full O(n·depth) rebuild of counters, cost and
+// per-variable errors.
+func (m *Model) Bind(cfg []int) {
+	if len(cfg) != m.n {
+		panic(fmt.Sprintf("costas: Bind with configuration of length %d, want %d", len(cfg), m.n))
+	}
+	m.cfg = cfg
+	m.cost = 0
+	for d := 1; d <= m.depth; d++ {
+		row := m.cnt[d]
+		for i := range row {
+			row[i] = 0
+		}
+		for i := 0; i+d < m.n; i++ {
+			v := cfg[i+d] - cfg[i] + m.n - 1
+			row[v]++
+			if row[v] > 1 {
+				m.cost += m.w[d]
+			}
+		}
+	}
+	m.varDirty = true
+}
+
+// Cost implements csp.Model (O(1): maintained incrementally).
+func (m *Model) Cost() int { return m.cost }
+
+// VarCost implements csp.Model. Every pair (V_i, V_{i+d}) whose difference
+// is duplicated in row d charges ERR(d) to both of its endpoint variables —
+// *all* occurrences are blamed, not just the ones after the first. (The
+// global cost still counts each occurrence after the first once.) Blaming
+// every conflicting pair is what the reference implementation does and it
+// matters: charging only the "later" pair concentrates the culprit choice
+// on a single variable and lets the search oscillate through it forever.
+// Errors are recomputed lazily after each committed move.
+func (m *Model) VarCost(i int) int {
+	if m.varDirty {
+		m.recomputeVarCosts()
+	}
+	return m.varCost[i]
+}
+
+func (m *Model) recomputeVarCosts() {
+	for i := range m.varCost {
+		m.varCost[i] = 0
+	}
+	// The row counters are maintained incrementally, so one pass over the
+	// triangle suffices: a pair is conflicting iff its value's count ≥ 2.
+	for d := 1; d <= m.depth; d++ {
+		row := m.cnt[d]
+		for i := 0; i+d < m.n; i++ {
+			v := m.cfg[i+d] - m.cfg[i] + m.n - 1
+			if row[v] >= 2 {
+				m.varCost[i] += m.w[d]
+				m.varCost[i+d] += m.w[d]
+			}
+		}
+	}
+	m.varDirty = false
+}
+
+// CostIfSwap implements csp.Model: O(depth) hypothetical evaluation via the
+// row counters with an undo log; no visible state changes.
+func (m *Model) CostIfSwap(i, j int) int {
+	if i == j {
+		return m.cost
+	}
+	delta := m.swapDelta(i, j)
+	// Roll back the counter changes recorded by swapDelta.
+	for k := len(m.undo) - 1; k >= 0; k-- {
+		u := m.undo[k]
+		m.cnt[u.d][u.idx] -= u.delta
+	}
+	m.undo = m.undo[:0]
+	return m.cost + delta
+}
+
+// ExecSwap implements csp.Model: commit the swap and the counter deltas.
+func (m *Model) ExecSwap(i, j int) {
+	if i == j {
+		return
+	}
+	delta := m.swapDelta(i, j)
+	m.undo = m.undo[:0]
+	m.cfg[i], m.cfg[j] = m.cfg[j], m.cfg[i]
+	m.cost += delta
+	m.varDirty = true
+}
+
+// swapDelta applies to the row counters the changes a swap of positions i, j
+// would cause, records every counter touch in m.undo, and returns the global
+// cost delta. cfg is the pre-swap configuration throughout.
+func (m *Model) swapDelta(i, j int) int {
+	cfg := m.cfg
+	vi, vj := cfg[i], cfg[j]
+	delta := 0
+
+	// newAt returns the post-swap value at position p.
+	newAt := func(p int) int {
+		switch p {
+		case i:
+			return vj
+		case j:
+			return vi
+		default:
+			return cfg[p]
+		}
+	}
+
+	// touch updates one pair (a, b) of row d = b−a from its old difference
+	// to its new one, adjusting counters and cost delta.
+	touch := func(a, b int) {
+		d := b - a
+		if d < 1 || d > m.depth {
+			return
+		}
+		oldV := cfg[b] - cfg[a] + m.n - 1
+		newV := newAt(b) - newAt(a) + m.n - 1
+		if oldV == newV {
+			return
+		}
+		row := m.cnt[d]
+		// Remove old occurrence: count c → c−1 drops one error iff c ≥ 2.
+		if row[oldV] >= 2 {
+			delta -= m.w[d]
+		}
+		row[oldV]--
+		m.undo = append(m.undo, undoEntry{d, oldV, -1})
+		// Add new occurrence: count c → c+1 adds one error iff c ≥ 1.
+		if row[newV] >= 1 {
+			delta += m.w[d]
+		}
+		row[newV]++
+		m.undo = append(m.undo, undoEntry{d, newV, +1})
+	}
+
+	// All pairs containing position i.
+	for d := 1; d <= m.depth; d++ {
+		if a := i - d; a >= 0 {
+			touch(a, i)
+		}
+		if b := i + d; b < m.n {
+			touch(i, b)
+		}
+	}
+	// All pairs containing position j but not i (those were just handled;
+	// the shared pair is (i, j) itself when j−i ≤ depth).
+	for d := 1; d <= m.depth; d++ {
+		if a := j - d; a >= 0 && a != i {
+			touch(a, j)
+		}
+		if b := j + d; b < m.n && b != i {
+			touch(j, b)
+		}
+	}
+	return delta
+}
+
+// scanCost computes the global cost of an arbitrary configuration without
+// touching the model's incremental state — used to evaluate the candidate
+// perturbations generated by Reset. O(n·depth).
+func (m *Model) scanCost(cfg []int) int {
+	m.seenGen++
+	gen := m.seenGen
+	width := 2*m.n - 1
+	cost := 0
+	for d := 1; d <= m.depth; d++ {
+		base := (d - 1) * width
+		for i := 0; i+d < m.n; i++ {
+			v := cfg[i+d] - cfg[i] + m.n - 1
+			slot := base + v
+			if m.seenReset[slot] == gen {
+				cost += m.w[d]
+			} else {
+				m.seenReset[slot] = gen
+			}
+		}
+	}
+	return cost
+}
+
+// String renders the model's bound configuration as a grid (for debugging).
+func (m *Model) String() string {
+	if m.cfg == nil {
+		return "costas.Model(unbound)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "CAP n=%d cost=%d cfg=%v", m.n, m.cost, m.cfg)
+	return b.String()
+}
+
+var _ csp.Model = (*Model)(nil)
+var _ csp.Resetter = (*Model)(nil)
+
+// Reset implements csp.Resetter with the dedicated escape procedure of
+// §IV-B2. From the entry configuration it tries three perturbation families:
+//
+//  1. every sub-array starting or ending at the most erroneous variable V_m,
+//     shifted circularly by one cell to the left and to the right;
+//  2. adding a constant circularly (modulo n) to every variable, for the
+//     constants 1, 2, n−2, n−3;
+//  3. left-shifting by one cell the prefix ending at a randomly chosen
+//     erroneous variable ≠ V_m (at most 3 variables tried).
+//
+// As soon as a candidate's cost is strictly below the entry cost it is
+// adopted (the paper measures this happens in ≈32 % of calls); otherwise the
+// best candidate overall is selected. Returns the new bound cost.
+func (m *Model) Reset(cfg []int, r *rng.RNG) int {
+	if m.genericReset {
+		return m.genericResetProc(cfg, r)
+	}
+	entry := m.scanCost(cfg)
+	bestCost := int(^uint(0) >> 1) // MaxInt
+	copy(m.best, cfg)              // safety net for degenerate sizes with no candidates
+	n := m.n
+
+	// try evaluates the candidate in m.cand; on strict improvement it
+	// commits immediately (returns true), otherwise tracks the best with
+	// uniform tie-breaking. The tie-breaking randomness is essential: a
+	// deterministic "first best" choice can trap the search in a 2-cycle of
+	// mutually-best perturbations at equal cost, never escaping the basin.
+	improved := false
+	bestTies := 0
+	try := func() bool {
+		c := m.scanCost(m.cand)
+		switch {
+		case c < bestCost:
+			bestCost = c
+			bestTies = 1
+			copy(m.best, m.cand)
+		case c == bestCost:
+			bestTies++
+			if r.Intn(bestTies) == 0 {
+				copy(m.best, m.cand)
+			}
+		}
+		if c < entry {
+			improved = true
+			return true
+		}
+		return false
+	}
+
+	// Perturbation 1: sub-arrays around the most erroneous variable.
+	// Reset is called with cfg == the bound configuration, so the model's
+	// incremental per-variable errors are valid here (O(n·depth) total,
+	// important because with RL=1 a reset fires at every local minimum).
+	vm := m.mostErroneousVar(r)
+	for lo := 0; lo < vm && !improved; lo++ {
+		if m.shiftTry(cfg, lo, vm, try) {
+			break
+		}
+	}
+	for hi := vm + 1; hi < n && !improved; hi++ {
+		if m.shiftTry(cfg, vm, hi, try) {
+			break
+		}
+	}
+
+	// Perturbation 2: circular constant addition.
+	if !improved {
+		for _, k := range m.resetConstants() {
+			for p := 0; p < n; p++ {
+				m.cand[p] = (cfg[p] + k) % n
+			}
+			if try() {
+				break
+			}
+		}
+	}
+
+	// Perturbation 3: left-shift prefix up to an erroneous variable ≠ V_m.
+	if !improved {
+		m.errVars = m.errVars[:0]
+		for v := 0; v < n; v++ {
+			if v != vm && m.VarCost(v) > 0 {
+				m.errVars = append(m.errVars, v)
+			}
+		}
+		tries := 3
+		for len(m.errVars) > 0 && tries > 0 {
+			k := r.Intn(len(m.errVars))
+			e := m.errVars[k]
+			m.errVars[k] = m.errVars[len(m.errVars)-1]
+			m.errVars = m.errVars[:len(m.errVars)-1]
+			tries--
+			copy(m.cand, cfg)
+			leftRotate(m.cand[:e+1])
+			if try() {
+				break
+			}
+		}
+	}
+
+	copy(cfg, m.best)
+	m.Bind(cfg)
+	return m.cost
+}
+
+// shiftTry builds the two circular shifts (left, right) of cfg[lo..hi] into
+// m.cand and evaluates them; it reports whether try() accepted one.
+func (m *Model) shiftTry(cfg []int, lo, hi int, try func() bool) bool {
+	copy(m.cand, cfg)
+	leftRotate(m.cand[lo : hi+1])
+	if try() {
+		return true
+	}
+	copy(m.cand, cfg)
+	rightRotate(m.cand[lo : hi+1])
+	return try()
+}
+
+// resetConstants returns the circular-addition constants of §IV-B2 (1, 2,
+// n−2, n−3), filtered and deduplicated for small n.
+func (m *Model) resetConstants() []int {
+	n := m.n
+	raw := [4]int{1, 2, n - 2, n - 3}
+	out := make([]int, 0, 4)
+	for _, k := range raw {
+		k = ((k % n) + n) % n
+		if k == 0 {
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == k {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// mostErroneousVar returns the index with maximum projected error in the
+// bound configuration, breaking ties uniformly at random.
+func (m *Model) mostErroneousVar(r *rng.RNG) int {
+	bestErr := -1
+	best := 0
+	ties := 0
+	for v := 0; v < m.n; v++ {
+		e := m.VarCost(v)
+		switch {
+		case e > bestErr:
+			bestErr, best, ties = e, v, 1
+		case e == bestErr:
+			ties++
+			if r.Intn(ties) == 0 {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// varCostOf computes the projected error of variable v in an arbitrary
+// configuration by brute force (reference semantics for tests): each pair
+// containing v whose difference value is duplicated in its row charges
+// ERR(d).
+func (m *Model) varCostOf(cfg []int, v int) int {
+	total := 0
+	for d := 1; d <= m.depth; d++ {
+		for i := 0; i+d < m.n; i++ {
+			if i != v && i+d != v {
+				continue
+			}
+			diff := cfg[i+d] - cfg[i]
+			count := 0
+			for k := 0; k+d < m.n; k++ {
+				if cfg[k+d]-cfg[k] == diff {
+					count++
+				}
+			}
+			if count >= 2 {
+				total += m.w[d]
+			}
+		}
+	}
+	return total
+}
+
+// genericResetProc is the engine-style percentage reset used when the
+// dedicated procedure is disabled (ablation): it re-randomises 5 % of the
+// variables (at least two) by random swaps, the paper's RL=1/RP=5 % default.
+func (m *Model) genericResetProc(cfg []int, r *rng.RNG) int {
+	n := m.n
+	k := n * 5 / 100
+	if k < 2 {
+		k = 2
+	}
+	for t := 0; t < k; t++ {
+		i, j := r.Intn(n), r.Intn(n)
+		cfg[i], cfg[j] = cfg[j], cfg[i]
+	}
+	m.Bind(cfg)
+	return m.cost
+}
+
+func leftRotate(s []int) {
+	if len(s) < 2 {
+		return
+	}
+	first := s[0]
+	copy(s, s[1:])
+	s[len(s)-1] = first
+}
+
+func rightRotate(s []int) {
+	if len(s) < 2 {
+		return
+	}
+	last := s[len(s)-1]
+	copy(s[1:], s[:len(s)-1])
+	s[0] = last
+}

@@ -1,0 +1,44 @@
+package costas
+
+import "repro/internal/adaptive"
+
+// TunedParams returns the Adaptive Search parameters this implementation
+// measures best for the CAP of order n. They are the product of the grid
+// search recorded in EXPERIMENTS.md (ablations section):
+//
+//   - ResetLimit 3 and ProbSelectLocMin 0.35 diversify local-minimum
+//     handling enough to avoid the reset-cycle pathologies a literal
+//     RL = 1 reading exhibits with this engine;
+//   - RestartLimit 2n² bounds the damage of degenerate attractors; for the
+//     CAP's near-exponential runtime distribution restarts are cost-free
+//     in expectation (§V-B);
+//   - plateau probability 0.90 as in §III-B1.
+//
+// With these settings the sequential iteration counts land in the same
+// regime as the paper's Table I (e.g. ≈12 k iterations on average for
+// n = 16, paper: 12,665).
+func TunedParams(n int) adaptive.Params {
+	p := adaptive.DefaultParams()
+	p.ProbSelectLocMin = 0.35
+	p.ResetLimit = 3
+	p.RestartLimit = int64(2 * n * n)
+	return p
+}
+
+// PaperParams returns the parameter set closest to the paper's stated
+// tuning (§IV-B2: RL = 1, RP = 5 %) for the ablation benchmarks. It keeps
+// the restart safety net — without it a literal transcription can cycle
+// among mutually-best reset perturbations forever.
+func PaperParams(n int) adaptive.Params {
+	p := adaptive.DefaultParams()
+	p.ResetLimit = 1
+	p.ResetPercent = 5
+	p.RestartLimit = int64(2 * n * n)
+	return p
+}
+
+// PaperOptions returns the model options matching the paper's final model:
+// quadratic error weights and the Chang bound.
+func PaperOptions() Options {
+	return Options{Err: ErrQuadratic}
+}

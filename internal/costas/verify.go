@@ -1,0 +1,112 @@
+package costas
+
+import (
+	"strings"
+
+	"repro/internal/csp"
+)
+
+// IsCostas reports whether perm (a 0-based permutation of {0..n-1}) is a
+// Costas array: one mark per row/column and all n(n−1)/2 displacement
+// vectors distinct. It checks the *full* difference triangle, independent of
+// any model options — the final authority every solver's output is verified
+// against in tests and harnesses.
+func IsCostas(perm []int) bool {
+	n := len(perm)
+	if !csp.IsPermutation(perm) {
+		return false
+	}
+	if n > 32 {
+		return isCostasLarge(perm)
+	}
+	for d := 1; d < n; d++ {
+		var mask uint64 // bitset over the 2n−1 difference values; n ≤ 32
+		for i := 0; i+d < n; i++ {
+			v := uint(perm[i+d] - perm[i] + n - 1)
+			if mask&(1<<v) != 0 {
+				return false
+			}
+			mask |= 1 << v
+		}
+	}
+	return true
+}
+
+// isCostasLarge handles n > 32 with map-free slice sets (rare path; kept for
+// completeness since constructions can emit larger orders).
+func isCostasLarge(perm []int) bool {
+	n := len(perm)
+	seen := make([]bool, 2*n-1)
+	for d := 1; d < n; d++ {
+		for i := range seen {
+			seen[i] = false
+		}
+		for i := 0; i+d < n; i++ {
+			v := perm[i+d] - perm[i] + n - 1
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+	}
+	return true
+}
+
+// Violations counts repeated differences over the full triangle (each
+// occurrence after the first in its row counts one). Zero iff IsCostas,
+// for permutation inputs.
+func Violations(perm []int) int {
+	n := len(perm)
+	count := 0
+	seen := make([]int, 2*n-1)
+	for d := 1; d < n; d++ {
+		for i := range seen {
+			seen[i] = 0
+		}
+		for i := 0; i+d < n; i++ {
+			v := perm[i+d] - perm[i] + n - 1
+			seen[v]++
+			if seen[v] > 1 {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// Triangle returns the difference triangle of perm: row d−1 of the result
+// holds the differences perm[i+d]−perm[i] for i = 0..n−1−d (§IV-A).
+func Triangle(perm []int) [][]int {
+	n := len(perm)
+	rows := make([][]int, 0, n-1)
+	for d := 1; d < n; d++ {
+		row := make([]int, n-d)
+		for i := 0; i+d < n; i++ {
+			row[i] = perm[i+d] - perm[i]
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Grid renders perm as the n×n character grid the paper draws, with 'X' for
+// marks and '.' elsewhere; row 0 is printed at the top (highest value first,
+// matching the usual Costas-array figures).
+func Grid(perm []int) string {
+	n := len(perm)
+	var b strings.Builder
+	for row := n - 1; row >= 0; row-- {
+		for col := 0; col < n; col++ {
+			if perm[col] == row {
+				b.WriteByte('X')
+			} else {
+				b.WriteByte('.')
+			}
+			if col < n-1 {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

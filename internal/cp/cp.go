@@ -1,0 +1,156 @@
+// Package cp implements a complete constraint-programming solver for the
+// Costas Array Problem: chronological backtracking with forward pruning on
+// the difference-triangle rows.
+//
+// The paper (§IV-C) reports that a CP/Comet program for the CAP is about
+// 400× slower than Adaptive Search at n = 19, and §II that "this problem is
+// too difficult for propagation-based solvers, even for medium size
+// instances (n around 18−20)". This package is that comparator: a correct,
+// reasonably engineered complete solver whose search-tree statistics
+// (nodes, backtracks) the benchmarks report alongside the local-search
+// solvers' iteration counts. It doubles as an exact enumerator and as the
+// ground-truth oracle for solution counts.
+package cp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Stats counts search effort.
+type Stats struct {
+	Nodes      int64 // value placements attempted
+	Backtracks int64 // failed placements undone
+	Solutions  int64 // solutions found
+}
+
+// Solver is a complete CAP solver for one order n.
+//
+// State: column-by-column placement of the permutation; rows[d] is a bitset
+// of difference values already present in triangle row d, giving O(depth)
+// consistency checks per placement — identical pruning to the classic CP
+// model of one alldifferent per triangle row, specialised to bitsets.
+type Solver struct {
+	n     int
+	perm  []int
+	used  []bool
+	rows  []uint64
+	stats Stats
+
+	// budget, when positive, aborts the search once Nodes exceeds it.
+	budget int64
+}
+
+// ErrBudget is returned by Solve and Count when the node budget was
+// exhausted before the search completed.
+var ErrBudget = errors.New("cp: node budget exhausted")
+
+// New creates a solver for order n (1 ≤ n ≤ 32; the bitset row
+// representation holds the 2n−1 possible difference values of a row in a
+// single word for n ≤ 32, and exhaustive search beyond that is hopeless
+// anyway).
+func New(n int) (*Solver, error) {
+	if n < 1 || n > 32 {
+		return nil, fmt.Errorf("cp: order %d outside [1, 32]", n)
+	}
+	return &Solver{
+		n:    n,
+		perm: make([]int, n),
+		used: make([]bool, n),
+		rows: make([]uint64, n),
+	}, nil
+}
+
+// SetNodeBudget bounds the number of nodes explored by subsequent calls;
+// zero or negative removes the bound.
+func (s *Solver) SetNodeBudget(nodes int64) { s.budget = nodes }
+
+// Stats returns the counters accumulated since the last Reset.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the search counters.
+func (s *Solver) ResetStats() { s.stats = Stats{} }
+
+// FirstSolution searches for one Costas array of order n. It returns the
+// array, or nil if none exists, or ErrBudget if the node budget ran out.
+func (s *Solver) FirstSolution() ([]int, error) {
+	var out []int
+	err := s.search(0, func(p []int) bool {
+		out = append([]int(nil), p...)
+		return false
+	})
+	return out, sanitize(err)
+}
+
+// CountAll exhaustively counts the Costas arrays of order n.
+func (s *Solver) CountAll() (int64, error) {
+	err := s.search(0, func([]int) bool { return true })
+	return s.stats.Solutions, sanitize(err)
+}
+
+// EnumerateAll invokes visit for every solution (the slice is reused);
+// visit returning false stops the search early.
+func (s *Solver) EnumerateAll(visit func([]int) bool) error {
+	return sanitize(s.search(0, visit))
+}
+
+// search is the backtracking core. It returns ErrBudget on abort, nil
+// otherwise (including early stop by visit).
+func (s *Solver) search(col int, visit func([]int) bool) error {
+	if col == s.n {
+		s.stats.Solutions++
+		if !visit(s.perm) {
+			return errStop
+		}
+		return nil
+	}
+	for v := 0; v < s.n; v++ {
+		if s.used[v] {
+			continue
+		}
+		if s.budget > 0 && s.stats.Nodes >= s.budget {
+			return ErrBudget
+		}
+		s.stats.Nodes++
+		// Forward check all triangle rows reaching back from this column.
+		ok := true
+		for d := 1; d <= col; d++ {
+			bit := uint64(1) << uint(v-s.perm[col-d]+s.n-1)
+			if s.rows[d]&bit != 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			s.stats.Backtracks++
+			continue
+		}
+		s.perm[col] = v
+		s.used[v] = true
+		for d := 1; d <= col; d++ {
+			s.rows[d] |= uint64(1) << uint(v-s.perm[col-d]+s.n-1)
+		}
+		err := s.search(col+1, visit)
+		for d := 1; d <= col; d++ {
+			s.rows[d] &^= uint64(1) << uint(v-s.perm[col-d]+s.n-1)
+		}
+		s.used[v] = false
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// errStop is the internal early-termination sentinel; it never escapes the
+// public API.
+var errStop = errors.New("cp: stop")
+
+// Sanitize converts the internal errStop into a nil error for public
+// methods that use early stopping.
+func sanitize(err error) error {
+	if errors.Is(err, errStop) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,142 @@
+package cp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/costas"
+)
+
+func TestCountMatchesKnownCounts(t *testing.T) {
+	max := 11
+	if testing.Short() {
+		max = 9
+	}
+	for n := 1; n <= max; n++ {
+		s, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.CountAll()
+		if err != nil {
+			t.Fatalf("CountAll(%d): %v", n, err)
+		}
+		if want := int64(costas.KnownCounts[n]); got != want {
+			t.Errorf("CP count for n=%d: %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFirstSolutionIsCostas(t *testing.T) {
+	for n := 1; n <= 13; n++ {
+		s, _ := New(n)
+		sol, err := s.FirstSolution()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if sol == nil || !costas.IsCostas(sol) {
+			t.Fatalf("n=%d: invalid first solution %v", n, sol)
+		}
+	}
+}
+
+func TestNodeBudgetAborts(t *testing.T) {
+	s, _ := New(20)
+	s.SetNodeBudget(1000)
+	_, err := s.FirstSolution()
+	if !errors.Is(err, ErrBudget) {
+		// Finding a CAP-20 solution in 1000 nodes is implausible, but a
+		// nil error with a valid solution would also be acceptable
+		// behaviour; only a wrong error value is a bug.
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		t.Skip("improbably lucky search")
+	}
+	if s.Stats().Nodes < 1000 {
+		t.Fatalf("aborted before budget: %d nodes", s.Stats().Nodes)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s, _ := New(8)
+	if _, err := s.CountAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Nodes == 0 || st.Backtracks == 0 {
+		t.Fatalf("empty counters: %+v", st)
+	}
+	if st.Solutions != int64(costas.KnownCounts[8]) {
+		t.Fatalf("solutions %d, want %d", st.Solutions, costas.KnownCounts[8])
+	}
+	s.ResetStats()
+	if s.Stats() != (Stats{}) {
+		t.Fatal("ResetStats did not clear counters")
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	s, _ := New(9)
+	calls := 0
+	if err := s.EnumerateAll(func([]int) bool {
+		calls++
+		return calls < 3
+	}); err != nil {
+		t.Fatalf("early stop returned error: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("visited %d solutions, want 3", calls)
+	}
+}
+
+func TestEnumerationAgreesWithBacktracker(t *testing.T) {
+	// The CP solver and the independent enumerator in internal/costas must
+	// produce the same solution sets (cross-validation of two code paths).
+	for _, n := range []int{6, 7, 8} {
+		fromCostas := map[string]bool{}
+		costas.Enumerate(n, func(p []int) bool {
+			fromCostas[key(p)] = true
+			return true
+		})
+		s, _ := New(n)
+		count := 0
+		if err := s.EnumerateAll(func(p []int) bool {
+			if !fromCostas[key(p)] {
+				t.Fatalf("CP found %v which enumerator did not", p)
+			}
+			count++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if count != len(fromCostas) {
+			t.Fatalf("n=%d: CP found %d solutions, enumerator %d", n, count, len(fromCostas))
+		}
+	}
+}
+
+func TestNewRejectsBadOrders(t *testing.T) {
+	for _, n := range []int{0, -1, 33, 100} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d) accepted out-of-range order", n)
+		}
+	}
+}
+
+func key(p []int) string {
+	b := make([]byte, len(p))
+	for i, v := range p {
+		b[i] = byte(v)
+	}
+	return string(b)
+}
+
+func BenchmarkCPFirstSolution16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, _ := New(16)
+		if _, err := s.FirstSolution(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package csp defines the contract between permutation-CSP models and the
+// local-search engines in this repository.
+//
+// The Adaptive Search method (§III of the paper) takes as input a problem in
+// CSP form — variables, domains, constraints — where each constraint carries
+// an *error function* measuring how much it is violated, and those errors
+// are projected onto the variables appearing in the constraint. For
+// permutation problems (the Costas Array Problem, N-Queens, All-Interval,
+// Magic Square...) the configuration is a permutation of {0..n-1} and the
+// elementary move is a swap of two positions. This package fixes that
+// interface once, so every engine (adaptive search, tabu, dialectic,
+// hill-climbing) can drive every model.
+//
+// The interface deliberately mirrors the C Adaptive Search library the paper
+// builds on (Cost_Of_Solution / Cost_On_Variable / Cost_If_Swap /
+// Executed_Swap / Reset): models may answer incrementally using internal
+// state that the engine keeps in sync through the Bind/ExecSwap protocol.
+package csp
+
+import "repro/internal/rng"
+
+// Model is a permutation CSP in Adaptive Search form.
+//
+// The engine owns the configuration slice (a permutation of {0..n-1}) and
+// informs the model of every change, so models can maintain incremental
+// structures (the Costas model keeps its difference-triangle counters this
+// way). The protocol is:
+//
+//	Bind(cfg)           — full (re)build of internal state from cfg;
+//	CostIfSwap(i, j)    — hypothetical global cost after swapping cfg[i], cfg[j];
+//	ExecSwap(i, j)      — swap cfg[i], cfg[j] in place and update state;
+//
+// Bind is called after initialisation, restarts and resets; ExecSwap commits
+// each move (the model performs the swap itself so its incremental state can
+// never drift from the configuration). A model must answer Cost and VarCost
+// for the bound configuration at any time.
+type Model interface {
+	// Size returns n, the number of variables.
+	Size() int
+
+	// Bind installs cfg as the current configuration and fully recomputes
+	// any incremental state. The model keeps the slice (it is not copied),
+	// so the engine must call Bind again if it rewrites cfg wholesale.
+	Bind(cfg []int)
+
+	// Cost returns the current global cost; zero means all constraints are
+	// satisfied.
+	Cost() int
+
+	// VarCost returns the error projected on variable i (the combination of
+	// the error functions of all constraints in which variable i appears).
+	// Selecting the maximum of these is Adaptive Search's culprit rule.
+	VarCost(i int) int
+
+	// CostIfSwap returns the global cost the configuration would have if
+	// positions i and j were swapped. It must not mutate visible state.
+	CostIfSwap(i, j int) int
+
+	// ExecSwap swaps positions i and j of the bound configuration in place
+	// and updates the model's incremental state. Engines observe the change
+	// through the shared slice.
+	ExecSwap(i, j int)
+}
+
+// Resetter is implemented by models providing a dedicated escape procedure
+// from local minima, replacing the engine's generic percentage reset — the
+// paper's custom CAP reset (§IV-B2) is the canonical example. Reset may
+// mutate cfg (the bound configuration) in place; it returns the resulting
+// global cost and must leave its incremental state consistent with cfg.
+type Resetter interface {
+	Reset(cfg []int, r *rng.RNG) int
+}
+
+// IsPermutation reports whether cfg is a permutation of {0..len(cfg)-1};
+// every engine in the repository maintains this as an invariant and the
+// tests check it relentlessly.
+func IsPermutation(cfg []int) bool {
+	seen := make([]bool, len(cfg))
+	for _, v := range cfg {
+		if v < 0 || v >= len(cfg) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// RandomConfiguration allocates and returns a fresh uniformly random
+// permutation of size n.
+func RandomConfiguration(n int, r *rng.RNG) []int {
+	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// Clone returns a copy of cfg.
+func Clone(cfg []int) []int {
+	out := make([]int, len(cfg))
+	copy(out, cfg)
+	return out
+}
+
+// FullCost recomputes a model's cost from scratch by rebinding a copy of the
+// configuration on a scratch model. It is a testing helper: engines use it
+// to verify incremental costs against ground truth.
+func FullCost(m Model, cfg []int) int {
+	m.Bind(cfg)
+	return m.Cost()
+}

@@ -1,0 +1,57 @@
+package csp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestIsPermutation(t *testing.T) {
+	cases := []struct {
+		cfg  []int
+		want bool
+	}{
+		{[]int{}, true},
+		{[]int{0}, true},
+		{[]int{1, 0, 2}, true},
+		{[]int{0, 0}, false},
+		{[]int{0, 2}, false},
+		{[]int{-1, 0}, false},
+		{[]int{3, 1, 2, 0}, true},
+	}
+	for _, c := range cases {
+		if got := IsPermutation(c.cfg); got != c.want {
+			t.Errorf("IsPermutation(%v) = %v, want %v", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestRandomConfiguration(t *testing.T) {
+	r := rng.New(5)
+	for _, n := range []int{1, 2, 10, 50} {
+		cfg := RandomConfiguration(n, r)
+		if len(cfg) != n || !IsPermutation(cfg) {
+			t.Fatalf("RandomConfiguration(%d) = %v invalid", n, cfg)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := []int{2, 0, 1}
+	c := Clone(orig)
+	c[0] = 99
+	if orig[0] != 2 {
+		t.Fatal("Clone shares backing storage")
+	}
+}
+
+func TestQuickRandomConfigurationsAreUniformylValid(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		return IsPermutation(RandomConfiguration(n, rng.New(seed)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

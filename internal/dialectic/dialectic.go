@@ -1,0 +1,240 @@
+// Package dialectic implements Dialectic Search (Kadioglu & Sellmann,
+// CP 2009), the local-search metaheuristic the paper compares Adaptive
+// Search against in Table II.
+//
+// Dialectic Search frames search as a Hegelian dialectic:
+//
+//   - the *thesis* is the current locally-optimal solution;
+//   - the *antithesis* is a randomized perturbation of it;
+//   - the *synthesis* walks greedily from thesis towards antithesis,
+//     keeping the best configuration seen on the path, and then descends
+//     to a local minimum.
+//
+// If the synthesis improves on the thesis it becomes the new thesis;
+// after too many failed dialectic rounds the search restarts from a fresh
+// random configuration. The permutation specialisation here follows the
+// CAP experiments of the original paper: greedy descent over the quadratic
+// swap neighborhood and path-following by transposition repair.
+package dialectic
+
+import (
+	"repro/internal/csp"
+	"repro/internal/rng"
+)
+
+// Params tune Dialectic Search. Zero value fields are replaced by defaults
+// matching the original paper's setup.
+type Params struct {
+	// NoImprovementLimit is the number of consecutive dialectic rounds
+	// without improvement tolerated before a restart (default 20).
+	NoImprovementLimit int
+	// MaxEvaluations bounds the total number of configuration-cost
+	// evaluations; ≤ 0 means unlimited. Evaluations are the solver's
+	// natural work unit and what Table II's time ratio tracks.
+	MaxEvaluations int64
+}
+
+// Stats counts Dialectic Search work for cross-solver comparison.
+type Stats struct {
+	Evaluations int64 // CostIfSwap/Bind evaluations (work unit)
+	Rounds      int64 // dialectic thesis→antithesis→synthesis rounds
+	Descents    int64 // greedy descents performed
+	Restarts    int64
+}
+
+// Solver runs Dialectic Search on a permutation model.
+type Solver struct {
+	model  csp.Model
+	params Params
+	r      *rng.RNG
+
+	cfg    []int
+	best   []int
+	stats  Stats
+	solved bool
+
+	anti    []int
+	synth   []int
+	scratch []int
+}
+
+// New creates a Dialectic Search solver with an initial random thesis.
+func New(model csp.Model, params Params, seed uint64) *Solver {
+	if params.NoImprovementLimit <= 0 {
+		params.NoImprovementLimit = 20
+	}
+	n := model.Size()
+	s := &Solver{
+		model:   model,
+		params:  params,
+		r:       rng.New(seed),
+		anti:    make([]int, n),
+		synth:   make([]int, n),
+		scratch: make([]int, n),
+	}
+	s.cfg = csp.RandomConfiguration(n, s.r)
+	model.Bind(s.cfg)
+	s.best = csp.Clone(s.cfg)
+	return s
+}
+
+// Solved reports whether a zero-cost configuration was reached.
+func (s *Solver) Solved() bool { return s.solved }
+
+// Stats returns the solver's work counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// Solution returns a copy of the best configuration found.
+func (s *Solver) Solution() []int { return csp.Clone(s.best) }
+
+// budget reports whether the evaluation budget is exhausted.
+func (s *Solver) budget() bool {
+	return s.params.MaxEvaluations > 0 && s.stats.Evaluations >= s.params.MaxEvaluations
+}
+
+// Solve runs the dialectic loop until solved or the budget runs out,
+// reporting success.
+func (s *Solver) Solve() bool {
+	m := s.model
+	// Initial thesis: greedy local minimum.
+	s.descend()
+	if m.Cost() == 0 {
+		s.finish()
+		return true
+	}
+	noImp := 0
+	for !s.budget() {
+		s.stats.Rounds++
+		thesisCost := m.Cost()
+
+		// Antithesis: perturb a random segment of the thesis.
+		s.makeAntithesis()
+
+		// Synthesis: greedy path from thesis to antithesis.
+		synthCost := s.synthesize()
+
+		if synthCost < thesisCost {
+			copy(s.cfg, s.synth)
+			m.Bind(s.cfg)
+			s.stats.Evaluations++
+			s.descend()
+			noImp = 0
+		} else {
+			noImp++
+			if noImp >= s.params.NoImprovementLimit {
+				s.restart()
+				noImp = 0
+			}
+		}
+		if m.Cost() == 0 {
+			s.finish()
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Solver) finish() {
+	s.solved = true
+	copy(s.best, s.cfg)
+}
+
+// descend performs best-improvement descent over the full quadratic swap
+// neighborhood until a local minimum — the "greedy" step of the paper.
+func (s *Solver) descend() {
+	m := s.model
+	n := len(s.cfg)
+	s.stats.Descents++
+	for {
+		cur := m.Cost()
+		if cur == 0 {
+			return
+		}
+		bestI, bestJ, bestCost := -1, -1, cur
+		for i := 0; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				c := m.CostIfSwap(i, j)
+				s.stats.Evaluations++
+				if c < bestCost {
+					bestCost, bestI, bestJ = c, i, j
+				}
+			}
+		}
+		if bestI < 0 {
+			return // local minimum
+		}
+		m.ExecSwap(bestI, bestJ)
+		if s.budget() {
+			return
+		}
+	}
+}
+
+// makeAntithesis copies the thesis and shuffles a random window of at least
+// a third of the variables.
+func (s *Solver) makeAntithesis() {
+	n := len(s.cfg)
+	copy(s.anti, s.cfg)
+	w := n/3 + 1 + s.r.Intn(n/3+1) // window length in [n/3+1, 2n/3+1]
+	if w > n {
+		w = n
+	}
+	start := s.r.Intn(n - w + 1)
+	s.r.Shuffle(w, func(i, j int) {
+		s.anti[start+i], s.anti[start+j] = s.anti[start+j], s.anti[start+i]
+	})
+}
+
+// synthesize walks from the thesis to the antithesis by fixing one position
+// per step (transposition repair), evaluating every intermediate
+// configuration, and leaves the best point of the path in s.synth,
+// returning its cost.
+func (s *Solver) synthesize() int {
+	m := s.model
+	n := len(s.cfg)
+	copy(s.scratch, s.cfg)
+
+	bestCost := int(^uint(0) >> 1)
+	// Position of each value in scratch, for O(1) transposition repair.
+	pos := make([]int, n)
+	for i, v := range s.scratch {
+		pos[v] = i
+	}
+	// Evaluate path points on a scratch binding; restore afterwards.
+	for i := 0; i < n; i++ {
+		if s.scratch[i] == s.anti[i] {
+			continue
+		}
+		j := pos[s.anti[i]]
+		// Swap positions i and j in scratch.
+		pos[s.scratch[i]], pos[s.scratch[j]] = j, i
+		s.scratch[i], s.scratch[j] = s.scratch[j], s.scratch[i]
+		m.Bind(s.scratch)
+		s.stats.Evaluations++
+		if c := m.Cost(); c < bestCost {
+			bestCost = c
+			copy(s.synth, s.scratch)
+		}
+		if s.budget() {
+			break
+		}
+	}
+	// Restore the thesis binding.
+	m.Bind(s.cfg)
+	s.stats.Evaluations++
+	if bestCost == int(^uint(0)>>1) {
+		// Antithesis equalled thesis; degenerate, return thesis itself.
+		copy(s.synth, s.cfg)
+		return m.Cost()
+	}
+	return bestCost
+}
+
+// restart replaces the thesis with a fresh random local minimum.
+func (s *Solver) restart() {
+	s.stats.Restarts++
+	s.r.PermInto(s.cfg)
+	s.model.Bind(s.cfg)
+	s.stats.Evaluations++
+	s.descend()
+}

@@ -1,0 +1,101 @@
+package dialectic
+
+import (
+	"testing"
+
+	"repro/internal/costas"
+	"repro/internal/csp"
+)
+
+func TestSolvesSmallCostas(t *testing.T) {
+	for _, n := range []int{6, 8, 10, 12} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			m := costas.New(n, costas.Options{})
+			s := New(m, Params{}, seed)
+			if !s.Solve() {
+				t.Fatalf("DS failed on CAP %d seed %d", n, seed)
+			}
+			if !costas.IsCostas(s.Solution()) {
+				t.Fatalf("DS returned non-Costas %v for n=%d", s.Solution(), n)
+			}
+		}
+	}
+}
+
+func TestSolvesCAP13(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CAP 13 via DS skipped in -short mode")
+	}
+	m := costas.New(13, costas.Options{})
+	s := New(m, Params{}, 7)
+	if !s.Solve() {
+		t.Fatal("DS failed on CAP 13")
+	}
+	if !costas.IsCostas(s.Solution()) {
+		t.Fatal("invalid solution")
+	}
+}
+
+func TestBudgetStopsSearch(t *testing.T) {
+	m := costas.New(18, costas.Options{})
+	s := New(m, Params{MaxEvaluations: 2000}, 1)
+	s.Solve() // CAP 18 will not fall in 2000 evaluations
+	if s.Solved() {
+		t.Skip("improbably lucky run")
+	}
+	// Budget overshoot is bounded by one descent step's scan.
+	if s.Stats().Evaluations > 2000+18*18 {
+		t.Fatalf("budget exceeded: %d evaluations", s.Stats().Evaluations)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() (Stats, []int) {
+		m := costas.New(10, costas.Options{})
+		s := New(m, Params{}, 42)
+		s.Solve()
+		return s.Stats(), s.Solution()
+	}
+	s1, sol1 := run()
+	s2, sol2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats differ: %+v vs %+v", s1, s2)
+	}
+	for i := range sol1 {
+		if sol1[i] != sol2[i] {
+			t.Fatal("solutions differ for identical seeds")
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	m := costas.New(11, costas.Options{})
+	s := New(m, Params{}, 3)
+	s.Solve()
+	st := s.Stats()
+	if st.Evaluations == 0 || st.Descents == 0 {
+		t.Fatalf("work counters empty: %+v", st)
+	}
+}
+
+func TestSynthesisKeepsPermutation(t *testing.T) {
+	m := costas.New(12, costas.Options{})
+	s := New(m, Params{MaxEvaluations: 50000}, 5)
+	s.Solve()
+	if !csp.IsPermutation(s.cfg) {
+		t.Fatalf("thesis corrupted: %v", s.cfg)
+	}
+	if !csp.IsPermutation(s.Solution()) {
+		t.Fatalf("best corrupted: %v", s.Solution())
+	}
+}
+
+func TestTrivialSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		m := costas.New(n, costas.Options{})
+		s := New(m, Params{}, 1)
+		if !s.Solve() {
+			t.Fatalf("DS failed on trivial n=%d", n)
+		}
+	}
+}

@@ -1,0 +1,373 @@
+// Package gf implements arithmetic in finite fields GF(p^m) for small prime
+// powers, built from scratch on the standard library.
+//
+// It exists to support the classical algebraic Costas-array constructions
+// (§II of the paper): the Welch construction needs primitive roots modulo a
+// prime, and the Lempel–Golomb construction needs a pair of primitive
+// elements of an arbitrary finite field GF(q), producing Costas arrays of
+// order q−2. These constructions give the test suite ground-truth solutions
+// of orders the local-search solvers are benchmarked on (e.g. q = 27 → n = 25).
+//
+// Field elements are encoded as integers in [0, q): the element
+// Σ c_k·x^k (c_k ∈ [0,p)) is encoded as Σ c_k·p^k. For m = 1 this is plain
+// arithmetic modulo p.
+package gf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Field is a finite field GF(p^m) with precomputed exp/log tables for fast
+// multiplication and discrete logarithms.
+type Field struct {
+	P int // characteristic (prime)
+	M int // extension degree
+	Q int // order, p^m
+
+	irr []int // monic irreducible polynomial of degree m, coefficients little-endian (len m+1)
+
+	exp []int // exp[i] = g^i for i in [0, q-1), g a fixed primitive element
+	log []int // log[e] = i with g^i = e, for e in [1, q)
+
+	generator int // the primitive element used for the tables
+}
+
+// NewField constructs GF(q). It returns an error unless q is a prime power
+// with 2 ≤ q and q small enough for table construction (q ≤ 1<<20).
+func NewField(q int) (*Field, error) {
+	if q < 2 {
+		return nil, fmt.Errorf("gf: order %d is not a prime power ≥ 2", q)
+	}
+	if q > 1<<20 {
+		return nil, fmt.Errorf("gf: order %d too large for table-based field", q)
+	}
+	p, m, ok := primePowerDecompose(q)
+	if !ok {
+		return nil, fmt.Errorf("gf: order %d is not a prime power", q)
+	}
+	f := &Field{P: p, M: m, Q: q}
+	if m == 1 {
+		// Prime field: x is not needed; use the trivial "irreducible" x - 0
+		// placeholder (never consulted on the m == 1 fast paths).
+		f.irr = []int{0, 1}
+	} else {
+		irr, err := findIrreducible(p, m)
+		if err != nil {
+			return nil, err
+		}
+		f.irr = irr
+	}
+	if err := f.buildTables(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// primePowerDecompose returns (p, m) with q = p^m and p prime, if possible.
+func primePowerDecompose(q int) (p, m int, ok bool) {
+	for p = 2; p*p <= q; p++ {
+		if q%p == 0 {
+			m = 0
+			for n := q; n > 1; n /= p {
+				if n%p != 0 {
+					return 0, 0, false
+				}
+				m++
+			}
+			return p, m, true
+		}
+	}
+	return q, 1, true // q itself prime
+}
+
+// IsPrime reports whether n is prime (trial division; n is small here).
+func IsPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns a + b in the field.
+func (f *Field) Add(a, b int) int {
+	if f.M == 1 {
+		return (a + b) % f.P
+	}
+	res := 0
+	mul := 1
+	for k := 0; k < f.M; k++ {
+		da, db := a%f.P, b%f.P
+		a /= f.P
+		b /= f.P
+		res += ((da + db) % f.P) * mul
+		mul *= f.P
+	}
+	return res
+}
+
+// Neg returns −a in the field.
+func (f *Field) Neg(a int) int {
+	if f.M == 1 {
+		return (f.P - a%f.P) % f.P
+	}
+	res := 0
+	mul := 1
+	for k := 0; k < f.M; k++ {
+		d := a % f.P
+		a /= f.P
+		res += ((f.P - d) % f.P) * mul
+		mul *= f.P
+	}
+	return res
+}
+
+// Sub returns a − b in the field.
+func (f *Field) Sub(a, b int) int { return f.Add(a, f.Neg(b)) }
+
+// mulSlow multiplies via polynomial arithmetic modulo the irreducible; used
+// only while bootstrapping the exp/log tables.
+func (f *Field) mulSlow(a, b int) int {
+	if f.M == 1 {
+		return a * b % f.P
+	}
+	// Unpack to coefficient slices.
+	pa := f.unpack(a)
+	pb := f.unpack(b)
+	prod := make([]int, 2*f.M-1)
+	for i, ca := range pa {
+		if ca == 0 {
+			continue
+		}
+		for j, cb := range pb {
+			prod[i+j] = (prod[i+j] + ca*cb) % f.P
+		}
+	}
+	// Reduce modulo irr (monic of degree M).
+	for deg := len(prod) - 1; deg >= f.M; deg-- {
+		c := prod[deg]
+		if c == 0 {
+			continue
+		}
+		prod[deg] = 0
+		for k := 0; k <= f.M; k++ {
+			idx := deg - f.M + k
+			prod[idx] = ((prod[idx]-c*f.irr[k])%f.P + f.P) % f.P
+		}
+	}
+	return f.pack(prod[:f.M])
+}
+
+func (f *Field) unpack(a int) []int {
+	out := make([]int, f.M)
+	for k := 0; k < f.M; k++ {
+		out[k] = a % f.P
+		a /= f.P
+	}
+	return out
+}
+
+func (f *Field) pack(coeffs []int) int {
+	res := 0
+	mul := 1
+	for _, c := range coeffs {
+		res += c * mul
+		mul *= f.P
+	}
+	return res
+}
+
+// Mul returns a·b using the log tables (O(1)).
+func (f *Field) Mul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[(f.log[a]+f.log[b])%(f.Q-1)]
+}
+
+// Inv returns the multiplicative inverse of a; it panics on a == 0.
+func (f *Field) Inv(a int) int {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return f.exp[(f.Q-1-f.log[a])%(f.Q-1)]
+}
+
+// Pow returns a^e (e ≥ 0; a == 0 returns 0 for e > 0, 1 for e == 0).
+func (f *Field) Pow(a, e int) int {
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	le := f.log[a] * (e % (f.Q - 1)) % (f.Q - 1)
+	return f.exp[le]
+}
+
+// Log returns the discrete logarithm of a to the field's generator; it
+// panics on a == 0.
+func (f *Field) Log(a int) int {
+	if a == 0 {
+		panic("gf: log of zero")
+	}
+	return f.log[a]
+}
+
+// Exp returns generator^i.
+func (f *Field) Exp(i int) int {
+	i %= f.Q - 1
+	if i < 0 {
+		i += f.Q - 1
+	}
+	return f.exp[i]
+}
+
+// Generator returns the primitive element underlying the tables.
+func (f *Field) Generator() int { return f.generator }
+
+// IsPrimitive reports whether a generates the multiplicative group, i.e.
+// has order exactly q−1.
+func (f *Field) IsPrimitive(a int) bool {
+	if a == 0 {
+		return false
+	}
+	// ord(a) = (q−1)/gcd(log a, q−1); primitive iff gcd(log a, q−1) == 1.
+	return gcd(f.log[a], f.Q-1) == 1
+}
+
+// PrimitiveElements returns all primitive elements of the field in
+// increasing encoded order.
+func (f *Field) PrimitiveElements() []int {
+	var out []int
+	for a := 1; a < f.Q; a++ {
+		if f.IsPrimitive(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		a = -a
+	}
+	return a
+}
+
+// buildTables finds a primitive element by trial and fills exp/log.
+func (f *Field) buildTables() error {
+	f.exp = make([]int, f.Q-1)
+	f.log = make([]int, f.Q)
+	for cand := 1; cand < f.Q; cand++ {
+		if f.tryGenerator(cand) {
+			f.generator = cand
+			return nil
+		}
+	}
+	return errors.New("gf: no primitive element found (irreducible polynomial not primitive-compatible?)")
+}
+
+// tryGenerator attempts to fill the tables with cand as generator; it
+// reports success iff cand has full multiplicative order.
+func (f *Field) tryGenerator(cand int) bool {
+	for i := range f.log {
+		f.log[i] = -1
+	}
+	x := 1
+	for i := 0; i < f.Q-1; i++ {
+		if f.log[x] != -1 {
+			return false // cycle shorter than q−1
+		}
+		f.exp[i] = x
+		f.log[x] = i
+		x = f.mulSlow(x, cand)
+	}
+	return x == 1
+}
+
+// findIrreducible searches for a monic irreducible polynomial of degree m
+// over GF(p) by exhaustive enumeration with trial division by all monic
+// polynomials of degree ≤ m/2.
+func findIrreducible(p, m int) ([]int, error) {
+	total := intPow(p, m)
+	// Iterate over the p^m possible low-coefficient vectors.
+	for enc := 0; enc < total; enc++ {
+		poly := make([]int, m+1)
+		e := enc
+		for k := 0; k < m; k++ {
+			poly[k] = e % p
+			e /= p
+		}
+		poly[m] = 1 // monic
+		if poly[0] == 0 {
+			continue // divisible by x
+		}
+		if polyIrreducible(poly, p) {
+			return poly, nil
+		}
+	}
+	return nil, fmt.Errorf("gf: no irreducible polynomial of degree %d over GF(%d)", m, p)
+}
+
+func intPow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+// polyIrreducible reports whether monic poly (little-endian, degree =
+// len(poly)-1) is irreducible over GF(p), by trial division by every monic
+// polynomial of degree 1..deg/2.
+func polyIrreducible(poly []int, p int) bool {
+	deg := len(poly) - 1
+	for d := 1; d <= deg/2; d++ {
+		count := intPow(p, d)
+		for enc := 0; enc < count; enc++ {
+			div := make([]int, d+1)
+			e := enc
+			for k := 0; k < d; k++ {
+				div[k] = e % p
+				e /= p
+			}
+			div[d] = 1
+			if polyDivisible(poly, div, p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// polyDivisible reports whether num is divisible by monic den over GF(p).
+func polyDivisible(num, den []int, p int) bool {
+	rem := make([]int, len(num))
+	copy(rem, num)
+	dd := len(den) - 1
+	for deg := len(rem) - 1; deg >= dd; deg-- {
+		c := rem[deg]
+		if c == 0 {
+			continue
+		}
+		for k := 0; k <= dd; k++ {
+			idx := deg - dd + k
+			rem[idx] = ((rem[idx]-c*den[k])%p + p) % p
+		}
+	}
+	for _, c := range rem {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}

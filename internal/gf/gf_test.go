@@ -1,0 +1,239 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var testOrders = []int{2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27, 32, 49, 64, 81, 121, 125}
+
+func TestNewFieldValidOrders(t *testing.T) {
+	for _, q := range testOrders {
+		f, err := NewField(q)
+		if err != nil {
+			t.Fatalf("NewField(%d): %v", q, err)
+		}
+		if f.Q != q || intPow(f.P, f.M) != q || !IsPrime(f.P) {
+			t.Fatalf("NewField(%d): bad decomposition p=%d m=%d", q, f.P, f.M)
+		}
+	}
+}
+
+func TestNewFieldRejectsNonPrimePowers(t *testing.T) {
+	for _, q := range []int{0, 1, 6, 10, 12, 15, 18, 20, 24, 36, 100} {
+		if _, err := NewField(q); err == nil {
+			t.Errorf("NewField(%d) accepted a non-prime-power", q)
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	for _, q := range []int{4, 5, 8, 9, 11, 16, 25, 27} {
+		f, err := NewField(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < q; a++ {
+			// Additive inverse.
+			if f.Add(a, f.Neg(a)) != 0 {
+				t.Fatalf("GF(%d): a + (−a) != 0 for a=%d", q, a)
+			}
+			// Identities.
+			if f.Add(a, 0) != a || f.Mul(a, 1) != a || f.Mul(a, 0) != 0 {
+				t.Fatalf("GF(%d): identity axioms fail for a=%d", q, a)
+			}
+			// Multiplicative inverse.
+			if a != 0 && f.Mul(a, f.Inv(a)) != 1 {
+				t.Fatalf("GF(%d): a · a⁻¹ != 1 for a=%d", q, a)
+			}
+			for b := 0; b < q; b++ {
+				// Commutativity.
+				if f.Add(a, b) != f.Add(b, a) || f.Mul(a, b) != f.Mul(b, a) {
+					t.Fatalf("GF(%d): commutativity fails at (%d,%d)", q, a, b)
+				}
+				// Sub consistency.
+				if f.Add(f.Sub(a, b), b) != a {
+					t.Fatalf("GF(%d): (a−b)+b != a at (%d,%d)", q, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestAssociativityAndDistributivity(t *testing.T) {
+	for _, q := range []int{8, 9, 25} {
+		f, _ := NewField(q)
+		for a := 0; a < q; a++ {
+			for b := 0; b < q; b++ {
+				for c := 0; c < q; c++ {
+					if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+						t.Fatalf("GF(%d): (ab)c != a(bc) at (%d,%d,%d)", q, a, b, c)
+					}
+					if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+						t.Fatalf("GF(%d): a(b+c) != ab+ac at (%d,%d,%d)", q, a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMulMatchesMulSlow(t *testing.T) {
+	for _, q := range []int{9, 16, 27} {
+		f, _ := NewField(q)
+		for a := 0; a < q; a++ {
+			for b := 0; b < q; b++ {
+				if f.Mul(a, b) != f.mulSlow(a, b) {
+					t.Fatalf("GF(%d): table Mul(%d,%d)=%d != mulSlow=%d",
+						q, a, b, f.Mul(a, b), f.mulSlow(a, b))
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorIsPrimitive(t *testing.T) {
+	for _, q := range testOrders {
+		f, _ := NewField(q)
+		g := f.Generator()
+		if !f.IsPrimitive(g) {
+			t.Fatalf("GF(%d): generator %d not primitive", q, g)
+		}
+		// Powers of g must enumerate all q−1 nonzero elements.
+		seen := map[int]bool{}
+		for i := 0; i < q-1; i++ {
+			seen[f.Exp(i)] = true
+		}
+		if len(seen) != q-1 {
+			t.Fatalf("GF(%d): generator cycle covers %d elements, want %d", q, len(seen), q-1)
+		}
+	}
+}
+
+func TestExpLogInverse(t *testing.T) {
+	for _, q := range []int{7, 8, 9, 16, 25, 27} {
+		f, _ := NewField(q)
+		for a := 1; a < q; a++ {
+			if f.Exp(f.Log(a)) != a {
+				t.Fatalf("GF(%d): Exp(Log(%d)) != %d", q, a, a)
+			}
+		}
+		for i := 0; i < q-1; i++ {
+			if f.Log(f.Exp(i)) != i {
+				t.Fatalf("GF(%d): Log(Exp(%d)) != %d", q, i, i)
+			}
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	f, _ := NewField(13)
+	for a := 0; a < 13; a++ {
+		want := 1
+		for e := 0; e < 10; e++ {
+			if got := f.Pow(a, e); got != want {
+				if !(a == 0 && e == 0) { // 0^0 convention is 1, covered by want
+					t.Fatalf("GF(13): Pow(%d,%d)=%d, want %d", a, e, got, want)
+				}
+			}
+			want = f.Mul(want, a)
+		}
+	}
+	// Fermat: a^(q−1) = 1 for a != 0.
+	for a := 1; a < 13; a++ {
+		if f.Pow(a, 12) != 1 {
+			t.Fatalf("Fermat fails for %d", a)
+		}
+	}
+}
+
+func TestPrimitiveElementsCount(t *testing.T) {
+	// The number of primitive elements of GF(q) is φ(q−1).
+	phi := func(n int) int {
+		out := 0
+		for k := 1; k <= n; k++ {
+			if gcd(k, n) == 1 {
+				out++
+			}
+		}
+		return out
+	}
+	for _, q := range []int{5, 7, 8, 9, 11, 16, 25} {
+		f, _ := NewField(q)
+		if got, want := len(f.PrimitiveElements()), phi(q-1); got != want {
+			t.Fatalf("GF(%d): %d primitive elements, want φ(%d)=%d", q, got, q-1, want)
+		}
+	}
+}
+
+func TestInvPanicsOnZero(t *testing.T) {
+	f, _ := NewField(7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	f.Inv(0)
+}
+
+func TestLogPanicsOnZero(t *testing.T) {
+	f, _ := NewField(7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log(0) did not panic")
+		}
+	}()
+	f.Log(0)
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := map[int]bool{2: true, 3: true, 5: true, 7: true, 31: true, 97: true}
+	for n := -5; n <= 100; n++ {
+		want := primes[n]
+		if n > 1 {
+			want = true
+			for d := 2; d*d <= n; d++ {
+				if n%d == 0 {
+					want = false
+					break
+				}
+			}
+		}
+		if IsPrime(n) != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, IsPrime(n), want)
+		}
+	}
+}
+
+// Property: in a prime field, Add/Mul agree with plain modular arithmetic.
+func TestQuickPrimeFieldMatchesModular(t *testing.T) {
+	f, _ := NewField(31)
+	fn := func(aRaw, bRaw uint16) bool {
+		a, b := int(aRaw)%31, int(bRaw)%31
+		return f.Add(a, b) == (a+b)%31 && f.Mul(a, b) == a*b%31
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Frobenius — (a+b)^p = a^p + b^p in characteristic p.
+func TestQuickFrobenius(t *testing.T) {
+	f, _ := NewField(27)
+	fn := func(aRaw, bRaw uint16) bool {
+		a, b := int(aRaw)%27, int(bRaw)%27
+		return f.Pow(f.Add(a, b), 3) == f.Add(f.Pow(a, 3), f.Pow(b, 3))
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	f, _ := NewField(256)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = f.Mul(i%255+1, (i+7)%255+1)
+	}
+	_ = sink
+}

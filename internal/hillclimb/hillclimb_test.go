@@ -1,0 +1,62 @@
+package hillclimb
+
+import (
+	"testing"
+
+	"repro/internal/costas"
+	"repro/internal/csp"
+)
+
+func TestSolvesSmallCostas(t *testing.T) {
+	for _, n := range []int{5, 7, 9, 11} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			m := costas.New(n, costas.Options{})
+			s := New(m, Params{}, seed)
+			if !s.Solve() {
+				t.Fatalf("hill climber failed on CAP %d seed %d", n, seed)
+			}
+			if !costas.IsCostas(s.Solution()) {
+				t.Fatalf("non-Costas result %v for n=%d", s.Solution(), n)
+			}
+		}
+	}
+}
+
+func TestIterationBudget(t *testing.T) {
+	m := costas.New(16, costas.Options{})
+	s := New(m, Params{MaxIterations: 1000}, 1)
+	s.Solve()
+	if s.Stats().Iterations > 1000 {
+		t.Fatalf("ran %d sampled moves with budget 1000", s.Stats().Iterations)
+	}
+}
+
+func TestRestartsHappenOnHardInstances(t *testing.T) {
+	m := costas.New(15, costas.Options{})
+	s := New(m, Params{MaxIterations: 200000}, 3)
+	s.Solve()
+	if s.Stats().Restarts == 0 && !s.Solved() {
+		t.Fatalf("no restarts after %d unsolved iterations", s.Stats().Iterations)
+	}
+}
+
+func TestConfigurationStaysPermutation(t *testing.T) {
+	m := costas.New(12, costas.Options{})
+	s := New(m, Params{MaxIterations: 5000}, 6)
+	s.Solve()
+	if !csp.IsPermutation(s.Solution()) {
+		t.Fatalf("corrupted configuration %v", s.Solution())
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() Stats {
+		m := costas.New(9, costas.Options{})
+		s := New(m, Params{}, 17)
+		s.Solve()
+		return s.Stats()
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different stats")
+	}
+}

@@ -1,0 +1,171 @@
+// Package allinterval models the All-Interval Series problem (CSPLib
+// prob007) as a permutation CSP for the Adaptive Search engine.
+//
+// The paper (§I) names the All-Interval Series as one of the three classical
+// CSPs the Costas Array Problem is conceptually related to: a series is a
+// permutation s of {0..n−1} such that the n−1 absolute differences
+// |s[i+1]−s[i]| are all distinct (hence a permutation of {1..n−1}). It is
+// the "first row of the difference triangle only, in absolute value" cousin
+// of the CAP, which makes it a good generality test for the engine.
+package allinterval
+
+import "repro/internal/csp"
+
+// Model implements csp.Model for the All-Interval Series.
+//
+// cnt[v] counts occurrences of absolute difference v among adjacent pairs;
+// cost = Σ_v max(0, cnt[v]−1). A swap touches at most 4 adjacent pairs, so
+// CostIfSwap is O(1).
+type Model struct {
+	n    int
+	cfg  []int
+	cnt  []int
+	cost int
+	undo []undoEntry
+}
+
+type undoEntry struct{ v, delta int }
+
+// New returns an All-Interval model over permutations of {0..n−1}.
+func New(n int) *Model {
+	return &Model{n: n, cnt: make([]int, n)}
+}
+
+// Size implements csp.Model.
+func (m *Model) Size() int { return m.n }
+
+// Bind implements csp.Model.
+func (m *Model) Bind(cfg []int) {
+	m.cfg = cfg
+	for i := range m.cnt {
+		m.cnt[i] = 0
+	}
+	m.cost = 0
+	for i := 0; i+1 < m.n; i++ {
+		v := abs(cfg[i+1] - cfg[i])
+		if m.cnt[v] > 0 {
+			m.cost++
+		}
+		m.cnt[v]++
+	}
+}
+
+// Cost implements csp.Model.
+func (m *Model) Cost() int { return m.cost }
+
+// VarCost implements csp.Model: a variable is blamed for each adjacent
+// difference it participates in whose value is duplicated.
+func (m *Model) VarCost(i int) int {
+	e := 0
+	if i > 0 && m.cnt[abs(m.cfg[i]-m.cfg[i-1])] > 1 {
+		e++
+	}
+	if i+1 < m.n && m.cnt[abs(m.cfg[i+1]-m.cfg[i])] > 1 {
+		e++
+	}
+	return e
+}
+
+// CostIfSwap implements csp.Model.
+func (m *Model) CostIfSwap(i, j int) int {
+	if i == j {
+		return m.cost
+	}
+	delta := m.swapDelta(i, j)
+	for k := len(m.undo) - 1; k >= 0; k-- {
+		m.cnt[m.undo[k].v] -= m.undo[k].delta
+	}
+	m.undo = m.undo[:0]
+	return m.cost + delta
+}
+
+// ExecSwap implements csp.Model.
+func (m *Model) ExecSwap(i, j int) {
+	if i == j {
+		return
+	}
+	delta := m.swapDelta(i, j)
+	m.undo = m.undo[:0]
+	m.cfg[i], m.cfg[j] = m.cfg[j], m.cfg[i]
+	m.cost += delta
+}
+
+// swapDelta updates the counters for the (at most four) adjacent pairs a
+// swap of positions i and j affects, recording undo entries, and returns
+// the cost delta. cfg is pre-swap.
+func (m *Model) swapDelta(i, j int) int {
+	cfg := m.cfg
+	vi, vj := cfg[i], cfg[j]
+	newAt := func(p int) int {
+		switch p {
+		case i:
+			return vj
+		case j:
+			return vi
+		default:
+			return cfg[p]
+		}
+	}
+	delta := 0
+	touch := func(a int) { // pair (a, a+1)
+		if a < 0 || a+1 >= m.n {
+			return
+		}
+		oldV := abs(cfg[a+1] - cfg[a])
+		newV := abs(newAt(a+1) - newAt(a))
+		if oldV == newV {
+			return
+		}
+		if m.cnt[oldV] >= 2 {
+			delta--
+		}
+		m.cnt[oldV]--
+		m.undo = append(m.undo, undoEntry{oldV, -1})
+		if m.cnt[newV] >= 1 {
+			delta++
+		}
+		m.cnt[newV]++
+		m.undo = append(m.undo, undoEntry{newV, +1})
+	}
+	// Pairs adjacent to i and j, deduplicated.
+	touched := [4]int{i - 1, i, j - 1, j}
+	for k, a := range touched {
+		dup := false
+		for _, b := range touched[:k] {
+			if a == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			touch(a)
+		}
+	}
+	return delta
+}
+
+// Valid reports whether cfg is an all-interval series.
+func Valid(cfg []int) bool {
+	if !csp.IsPermutation(cfg) {
+		return false
+	}
+	n := len(cfg)
+	seen := make([]bool, n)
+	for i := 0; i+1 < n; i++ {
+		v := abs(cfg[i+1] - cfg[i])
+		if v == 0 || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+var _ csp.Model = (*Model)(nil)

@@ -1,0 +1,130 @@
+package allinterval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adaptive"
+	"repro/internal/csp"
+	"repro/internal/rng"
+)
+
+func naiveCost(cfg []int) int {
+	cnt := map[int]int{}
+	for i := 0; i+1 < len(cfg); i++ {
+		cnt[abs(cfg[i+1]-cfg[i])]++
+	}
+	cost := 0
+	for _, c := range cnt {
+		if c > 1 {
+			cost += c - 1
+		}
+	}
+	return cost
+}
+
+func TestBindMatchesNaive(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + r.Intn(25)
+		cfg := csp.RandomConfiguration(n, r)
+		m := New(n)
+		m.Bind(cfg)
+		if m.Cost() != naiveCost(cfg) {
+			t.Fatalf("n=%d cfg=%v: cost %d naive %d", n, cfg, m.Cost(), naiveCost(cfg))
+		}
+	}
+}
+
+func TestCostIfSwapMatchesRebind(t *testing.T) {
+	r := rng.New(5)
+	const n = 14
+	m := New(n)
+	cfg := csp.RandomConfiguration(n, r)
+	m.Bind(cfg)
+	fresh := New(n)
+	for trial := 0; trial < 500; trial++ {
+		i, j := r.Intn(n), r.Intn(n)
+		got := m.CostIfSwap(i, j)
+		tc := csp.Clone(cfg)
+		tc[i], tc[j] = tc[j], tc[i]
+		fresh.Bind(tc)
+		if got != fresh.Cost() {
+			t.Fatalf("swap(%d,%d) on %v: CostIfSwap=%d rebind=%d", i, j, cfg, got, fresh.Cost())
+		}
+	}
+}
+
+func TestExecSwapIntegrity(t *testing.T) {
+	r := rng.New(6)
+	const n = 18
+	m := New(n)
+	cfg := csp.RandomConfiguration(n, r)
+	m.Bind(cfg)
+	for trial := 0; trial < 1000; trial++ {
+		i, j := r.Intn(n), r.Intn(n)
+		want := m.CostIfSwap(i, j)
+		m.ExecSwap(i, j)
+		if m.Cost() != want || m.Cost() != naiveCost(cfg) {
+			t.Fatalf("trial %d: drift model=%d predicted=%d naive=%d", trial, m.Cost(), want, naiveCost(cfg))
+		}
+	}
+}
+
+func TestAdjacentSwapPairs(t *testing.T) {
+	// Swapping adjacent positions shares the middle pair; the dedup logic
+	// must not double-count it.
+	m := New(6)
+	cfg := []int{0, 1, 2, 3, 4, 5}
+	m.Bind(cfg)
+	for i := 0; i+1 < 6; i++ {
+		got := m.CostIfSwap(i, i+1)
+		tc := csp.Clone(cfg)
+		tc[i], tc[i+1] = tc[i+1], tc[i]
+		if got != naiveCost(tc) {
+			t.Fatalf("adjacent swap(%d,%d): got %d want %d", i, i+1, got, naiveCost(tc))
+		}
+	}
+}
+
+func TestEngineSolvesAllInterval(t *testing.T) {
+	for _, n := range []int{8, 10, 12, 14} {
+		m := New(n)
+		e := adaptive.NewEngine(m, adaptive.DefaultParams(), uint64(n)+1)
+		if !e.Solve() {
+			t.Fatalf("all-interval n=%d unsolved", n)
+		}
+		if !Valid(e.Solution()) {
+			t.Fatalf("all-interval n=%d invalid solution %v", n, e.Solution())
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Valid([]int{0, 2, 1}) { // diffs 2, 1
+		t.Fatal("valid series rejected")
+	}
+	if Valid([]int{0, 1, 2}) { // diffs 1, 1
+		t.Fatal("repeated-difference series accepted")
+	}
+	if Valid([]int{0, 0, 1}) {
+		t.Fatal("non-permutation accepted")
+	}
+}
+
+func TestQuickSwapConsistent(t *testing.T) {
+	f := func(seed uint64, nRaw, iRaw, jRaw uint8) bool {
+		n := int(nRaw%16) + 3
+		r := rng.New(seed)
+		cfg := csp.RandomConfiguration(n, r)
+		m := New(n)
+		m.Bind(cfg)
+		i, j := int(iRaw)%n, int(jRaw)%n
+		got := m.CostIfSwap(i, j)
+		cfg[i], cfg[j] = cfg[j], cfg[i]
+		return got == naiveCost(cfg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package magicsquare models the Magic Square problem (CSPLib prob019) as a
+// permutation CSP for the Adaptive Search engine.
+//
+// The paper (§III-B1) uses Magic Square as the showcase for the plateau
+// mechanism — with plateau-following probability ≈0.9 the 2003 Adaptive
+// Search solves instances up to 400×400 — and §III-A quotes AS as 100–500×
+// faster than Comet on it. A k×k magic square places {1..k²} so every row,
+// column and both main diagonals sum to the magic constant k(k²+1)/2.
+//
+// Representation: a permutation cfg of {0..k²−1}; cell (r, c) holds
+// cfg[r·k+c]+1. The error of a line is |sum − M|; the cost is the sum over
+// the 2k+2 lines; a variable's error is the sum of its lines' errors.
+package magicsquare
+
+import "repro/internal/csp"
+
+// Model implements csp.Model for the k×k magic square.
+type Model struct {
+	k     int
+	n     int // k²
+	magic int
+	cfg   []int
+
+	rowSum []int
+	colSum []int
+	diaSum int // main diagonal (r == c)
+	antSum int // anti-diagonal (r + c == k−1)
+	cost   int
+}
+
+// New returns a model of the k×k magic square (k ≥ 3; k = 2 has no magic
+// square and k ≤ 1 is trivial — callers choose sensibly).
+func New(k int) *Model {
+	return &Model{
+		k:      k,
+		n:      k * k,
+		magic:  k * (k*k + 1) / 2,
+		rowSum: make([]int, k),
+		colSum: make([]int, k),
+	}
+}
+
+// Size implements csp.Model (k² variables).
+func (m *Model) Size() int { return m.n }
+
+// Bind implements csp.Model.
+func (m *Model) Bind(cfg []int) {
+	m.cfg = cfg
+	for i := range m.rowSum {
+		m.rowSum[i] = 0
+		m.colSum[i] = 0
+	}
+	m.diaSum, m.antSum = 0, 0
+	for p, v := range cfg {
+		r, c := p/m.k, p%m.k
+		val := v + 1
+		m.rowSum[r] += val
+		m.colSum[c] += val
+		if r == c {
+			m.diaSum += val
+		}
+		if r+c == m.k-1 {
+			m.antSum += val
+		}
+	}
+	m.recost()
+}
+
+func (m *Model) recost() {
+	cost := abs(m.diaSum-m.magic) + abs(m.antSum-m.magic)
+	for i := 0; i < m.k; i++ {
+		cost += abs(m.rowSum[i]-m.magic) + abs(m.colSum[i]-m.magic)
+	}
+	m.cost = cost
+}
+
+// Cost implements csp.Model.
+func (m *Model) Cost() int { return m.cost }
+
+// VarCost implements csp.Model: the summed error of the lines through the
+// cell.
+func (m *Model) VarCost(i int) int {
+	r, c := i/m.k, i%m.k
+	e := abs(m.rowSum[r]-m.magic) + abs(m.colSum[c]-m.magic)
+	if r == c {
+		e += abs(m.diaSum - m.magic)
+	}
+	if r+c == m.k-1 {
+		e += abs(m.antSum - m.magic)
+	}
+	return e
+}
+
+// CostIfSwap implements csp.Model in O(1): only the lines through the two
+// cells change.
+func (m *Model) CostIfSwap(i, j int) int {
+	if i == j || m.cfg[i] == m.cfg[j] {
+		return m.cost
+	}
+	ri, ci := i/m.k, i%m.k
+	rj, cj := j/m.k, j%m.k
+	d := m.cfg[j] - m.cfg[i] // value delta applied at cell i; −d at cell j
+
+	cost := m.cost
+	adj := func(sum, delta int) int {
+		return abs(sum+delta-m.magic) - abs(sum-m.magic)
+	}
+	if ri == rj {
+		// Same row: row sum unchanged.
+	} else {
+		cost += adj(m.rowSum[ri], d) + adj(m.rowSum[rj], -d)
+	}
+	if ci != cj {
+		cost += adj(m.colSum[ci], d) + adj(m.colSum[cj], -d)
+	}
+	dd := 0
+	if ri == ci {
+		dd += d
+	}
+	if rj == cj {
+		dd -= d
+	}
+	if dd != 0 {
+		cost += adj(m.diaSum, dd)
+	}
+	da := 0
+	if ri+ci == m.k-1 {
+		da += d
+	}
+	if rj+cj == m.k-1 {
+		da -= d
+	}
+	if da != 0 {
+		cost += adj(m.antSum, da)
+	}
+	return cost
+}
+
+// ExecSwap implements csp.Model.
+func (m *Model) ExecSwap(i, j int) {
+	if i == j {
+		return
+	}
+	newCost := m.CostIfSwap(i, j)
+	ri, ci := i/m.k, i%m.k
+	rj, cj := j/m.k, j%m.k
+	d := m.cfg[j] - m.cfg[i]
+	m.rowSum[ri] += d
+	m.rowSum[rj] -= d
+	m.colSum[ci] += d
+	m.colSum[cj] -= d
+	if ri == ci {
+		m.diaSum += d
+	}
+	if rj == cj {
+		m.diaSum -= d
+	}
+	if ri+ci == m.k-1 {
+		m.antSum += d
+	}
+	if rj+cj == m.k-1 {
+		m.antSum -= d
+	}
+	m.cfg[i], m.cfg[j] = m.cfg[j], m.cfg[i]
+	m.cost = newCost
+}
+
+// Valid reports whether cfg (a permutation of {0..k²−1}) is a magic square.
+func Valid(k int, cfg []int) bool {
+	if len(cfg) != k*k || !csp.IsPermutation(cfg) {
+		return false
+	}
+	magic := k * (k*k + 1) / 2
+	dia, ant := 0, 0
+	for r := 0; r < k; r++ {
+		rs, cs := 0, 0
+		for c := 0; c < k; c++ {
+			rs += cfg[r*k+c] + 1
+			cs += cfg[c*k+r] + 1
+		}
+		if rs != magic || cs != magic {
+			return false
+		}
+		dia += cfg[r*k+r] + 1
+		ant += cfg[r*k+(k-1-r)] + 1
+	}
+	return dia == magic && ant == magic
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+var _ csp.Model = (*Model)(nil)

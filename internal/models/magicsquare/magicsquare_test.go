@@ -1,0 +1,187 @@
+package magicsquare
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adaptive"
+	"repro/internal/csp"
+	"repro/internal/rng"
+)
+
+func naiveCost(k int, cfg []int) int {
+	magic := k * (k*k + 1) / 2
+	cost := 0
+	dia, ant := 0, 0
+	for r := 0; r < k; r++ {
+		rs, cs := 0, 0
+		for c := 0; c < k; c++ {
+			rs += cfg[r*k+c] + 1
+			cs += cfg[c*k+r] + 1
+		}
+		cost += abs(rs-magic) + abs(cs-magic)
+		dia += cfg[r*k+r] + 1
+		ant += cfg[r*k+(k-1-r)] + 1
+	}
+	return cost + abs(dia-magic) + abs(ant-magic)
+}
+
+func TestBindMatchesNaive(t *testing.T) {
+	r := rng.New(7)
+	for _, k := range []int{3, 4, 5, 7} {
+		for trial := 0; trial < 30; trial++ {
+			cfg := csp.RandomConfiguration(k*k, r)
+			m := New(k)
+			m.Bind(cfg)
+			if m.Cost() != naiveCost(k, cfg) {
+				t.Fatalf("k=%d: cost %d naive %d", k, m.Cost(), naiveCost(k, cfg))
+			}
+		}
+	}
+}
+
+func TestCostIfSwapMatchesRebind(t *testing.T) {
+	r := rng.New(8)
+	const k = 5
+	m := New(k)
+	cfg := csp.RandomConfiguration(k*k, r)
+	m.Bind(cfg)
+	fresh := New(k)
+	for trial := 0; trial < 800; trial++ {
+		i, j := r.Intn(k*k), r.Intn(k*k)
+		got := m.CostIfSwap(i, j)
+		tc := csp.Clone(cfg)
+		tc[i], tc[j] = tc[j], tc[i]
+		fresh.Bind(tc)
+		if got != fresh.Cost() {
+			t.Fatalf("swap(%d,%d): CostIfSwap=%d rebind=%d", i, j, got, fresh.Cost())
+		}
+	}
+}
+
+func TestExecSwapIntegrity(t *testing.T) {
+	r := rng.New(9)
+	const k = 6
+	m := New(k)
+	cfg := csp.RandomConfiguration(k*k, r)
+	m.Bind(cfg)
+	for trial := 0; trial < 1500; trial++ {
+		i, j := r.Intn(k*k), r.Intn(k*k)
+		want := m.CostIfSwap(i, j)
+		m.ExecSwap(i, j)
+		if m.Cost() != want || m.Cost() != naiveCost(k, cfg) {
+			t.Fatalf("trial %d: drift model=%d predicted=%d naive=%d",
+				trial, m.Cost(), want, naiveCost(k, cfg))
+		}
+		if !csp.IsPermutation(cfg) {
+			t.Fatalf("configuration corrupted: %v", cfg)
+		}
+	}
+}
+
+func TestSameRowColumnSwaps(t *testing.T) {
+	// Swaps inside one row (or column) leave that line's sum unchanged;
+	// the incremental path special-cases this.
+	const k = 4
+	m := New(k)
+	cfg := csp.RandomConfiguration(k*k, rng.New(10))
+	m.Bind(cfg)
+	fresh := New(k)
+	for r := 0; r < k; r++ {
+		for a := 0; a < k; a++ {
+			for b := a + 1; b < k; b++ {
+				i, j := r*k+a, r*k+b // same row
+				tc := csp.Clone(cfg)
+				tc[i], tc[j] = tc[j], tc[i]
+				fresh.Bind(tc)
+				if m.CostIfSwap(i, j) != fresh.Cost() {
+					t.Fatalf("same-row swap (%d,%d) wrong", i, j)
+				}
+				i, j = a*k+r, b*k+r // same column
+				tc = csp.Clone(cfg)
+				tc[i], tc[j] = tc[j], tc[i]
+				fresh.Bind(tc)
+				if m.CostIfSwap(i, j) != fresh.Cost() {
+					t.Fatalf("same-col swap (%d,%d) wrong", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestKnownMagicSquareHasZeroCost(t *testing.T) {
+	// The classic Lo Shu square (values 1..9 → cfg holds value−1):
+	//   2 7 6
+	//   9 5 1
+	//   4 3 8
+	cfg := []int{1, 6, 5, 8, 4, 0, 3, 2, 7}
+	m := New(3)
+	m.Bind(cfg)
+	if m.Cost() != 0 {
+		t.Fatalf("Lo Shu square cost %d, want 0", m.Cost())
+	}
+	if !Valid(3, cfg) {
+		t.Fatal("Valid rejects the Lo Shu square")
+	}
+}
+
+func TestEngineSolvesMagicSquare(t *testing.T) {
+	for _, k := range []int{3, 4, 5} {
+		m := New(k)
+		p := adaptive.DefaultParams()
+		p.PlateauProb = 0.93 // §III-B1's plateau tuning matters most here
+		e := adaptive.NewEngine(m, p, uint64(k)*13)
+		if !e.Solve() {
+			t.Fatalf("magic square k=%d unsolved", k)
+		}
+		if !Valid(k, e.Solution()) {
+			t.Fatalf("magic square k=%d invalid: %v", k, e.Solution())
+		}
+	}
+}
+
+func TestEngineSolvesMagicSquare8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8×8 magic square skipped in -short mode")
+	}
+	m := New(8)
+	p := adaptive.DefaultParams()
+	p.PlateauProb = 0.93
+	e := adaptive.NewEngine(m, p, 4)
+	if !e.Solve() {
+		t.Fatal("magic square k=8 unsolved")
+	}
+	if !Valid(8, e.Solution()) {
+		t.Fatal("invalid 8×8 magic square")
+	}
+}
+
+func TestValidRejects(t *testing.T) {
+	if Valid(3, []int{0, 1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatal("row-major layout accepted as magic")
+	}
+	if Valid(3, []int{0, 0, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatal("non-permutation accepted")
+	}
+	if Valid(2, []int{0, 1, 2, 3}) {
+		t.Fatal("2×2 'magic square' accepted (none exists)")
+	}
+}
+
+func TestQuickSwapConsistent(t *testing.T) {
+	f := func(seed uint64, kRaw, iRaw, jRaw uint8) bool {
+		k := int(kRaw%5) + 3
+		n := k * k
+		r := rng.New(seed)
+		cfg := csp.RandomConfiguration(n, r)
+		m := New(k)
+		m.Bind(cfg)
+		i, j := int(iRaw)%n, int(jRaw)%n
+		got := m.CostIfSwap(i, j)
+		cfg[i], cfg[j] = cfg[j], cfg[i]
+		return got == naiveCost(k, cfg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

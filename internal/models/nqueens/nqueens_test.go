@@ -1,0 +1,159 @@
+package nqueens
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adaptive"
+	"repro/internal/csp"
+	"repro/internal/rng"
+)
+
+func naiveCost(cfg []int) int {
+	cost := 0
+	d1 := map[int]int{}
+	d2 := map[int]int{}
+	for i, v := range cfg {
+		d1[v-i]++
+		d2[v+i]++
+	}
+	for _, c := range d1 {
+		if c > 1 {
+			cost += c - 1
+		}
+	}
+	for _, c := range d2 {
+		if c > 1 {
+			cost += c - 1
+		}
+	}
+	return cost
+}
+
+func TestBindMatchesNaive(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 100; trial++ {
+		n := 4 + r.Intn(30)
+		cfg := csp.RandomConfiguration(n, r)
+		m := New(n)
+		m.Bind(cfg)
+		if m.Cost() != naiveCost(cfg) {
+			t.Fatalf("n=%d cfg=%v: cost %d, naive %d", n, cfg, m.Cost(), naiveCost(cfg))
+		}
+	}
+}
+
+func TestCostIfSwapMatchesRebind(t *testing.T) {
+	r := rng.New(2)
+	m := New(16)
+	cfg := csp.RandomConfiguration(16, r)
+	m.Bind(cfg)
+	fresh := New(16)
+	for trial := 0; trial < 500; trial++ {
+		i, j := r.Intn(16), r.Intn(16)
+		got := m.CostIfSwap(i, j)
+		trialCfg := csp.Clone(cfg)
+		trialCfg[i], trialCfg[j] = trialCfg[j], trialCfg[i]
+		fresh.Bind(trialCfg)
+		if got != fresh.Cost() {
+			t.Fatalf("swap(%d,%d): CostIfSwap=%d rebind=%d", i, j, got, fresh.Cost())
+		}
+		if m.Cost() != naiveCost(cfg) {
+			t.Fatal("CostIfSwap mutated state")
+		}
+	}
+}
+
+func TestExecSwapIntegrity(t *testing.T) {
+	r := rng.New(3)
+	m := New(20)
+	cfg := csp.RandomConfiguration(20, r)
+	m.Bind(cfg)
+	for trial := 0; trial < 1000; trial++ {
+		i, j := r.Intn(20), r.Intn(20)
+		want := m.CostIfSwap(i, j)
+		m.ExecSwap(i, j)
+		if m.Cost() != want || m.Cost() != naiveCost(cfg) {
+			t.Fatalf("trial %d: cost drift: model=%d predicted=%d naive=%d",
+				trial, m.Cost(), want, naiveCost(cfg))
+		}
+	}
+}
+
+func TestVarCostCountsAttackers(t *testing.T) {
+	// Three queens on one ↗ diagonal: middle sees 2 attackers, also via d2?
+	// Use explicit layout: queens at (0,0), (1,1), (2,2), rest safe-ish.
+	cfg := []int{0, 1, 2, 4, 3} // cols 0-2 on main diagonal
+	m := New(5)
+	m.Bind(cfg)
+	if got := m.VarCost(1); got < 2 {
+		t.Fatalf("queen 1 attackers %d, want ≥ 2", got)
+	}
+}
+
+func TestEngineSolvesNQueens(t *testing.T) {
+	for _, n := range []int{8, 20, 50, 100} {
+		m := New(n)
+		e := adaptive.NewEngine(m, adaptive.DefaultParams(), uint64(n))
+		if !e.Solve() {
+			t.Fatalf("N-Queens n=%d unsolved", n)
+		}
+		if !Valid(e.Solution()) {
+			t.Fatalf("N-Queens n=%d invalid solution %v", n, e.Solution())
+		}
+	}
+}
+
+func TestEngineSolvesLargeNQueens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large N-Queens skipped in -short mode")
+	}
+	m := New(500)
+	e := adaptive.NewEngine(m, adaptive.DefaultParams(), 7)
+	if !e.Solve() {
+		t.Fatal("N-Queens 500 unsolved")
+	}
+	if !Valid(e.Solution()) {
+		t.Fatal("invalid 500-queens solution")
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !Valid([]int{1, 3, 0, 2}) {
+		t.Fatal("known 4-queens solution rejected")
+	}
+	if Valid([]int{0, 1, 2, 3}) {
+		t.Fatal("diagonal layout accepted")
+	}
+	if Valid([]int{0, 0, 1, 2}) {
+		t.Fatal("non-permutation accepted")
+	}
+}
+
+func TestQuickSwapDeltaConsistent(t *testing.T) {
+	f := func(seed uint64, nRaw, iRaw, jRaw uint8) bool {
+		n := int(nRaw%20) + 4
+		r := rng.New(seed)
+		cfg := csp.RandomConfiguration(n, r)
+		m := New(n)
+		m.Bind(cfg)
+		i, j := int(iRaw)%n, int(jRaw)%n
+		got := m.CostIfSwap(i, j)
+		cfg[i], cfg[j] = cfg[j], cfg[i]
+		return got == naiveCost(cfg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCostIfSwap(b *testing.B) {
+	r := rng.New(1)
+	m := New(100)
+	cfg := csp.RandomConfiguration(100, r)
+	m.Bind(cfg)
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		_ = m.CostIfSwap(k%100, (k*7+3)%100)
+	}
+}

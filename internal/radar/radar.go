@@ -1,0 +1,166 @@
+// Package radar implements the application domain that motivated Costas
+// arrays (§I–II of the paper: sonar in the 1960s, radar and software-
+// defined radio today): frequency-hopping pulse trains and their discrete
+// delay–Doppler ambiguity analysis.
+//
+// A hop pattern assigns one of n frequencies to each of n pulses. Matched-
+// filter processing of an echo correlates the pattern against copies of
+// itself shifted in time (delay, dt pulses) and frequency (Doppler, df
+// bins); the discrete ambiguity value A(dt, df) counts pulse/frequency
+// coincidences. The pattern is a *thumbtack* when every off-origin value
+// is at most 1 — exactly the Costas property — so a single target produces
+// one unambiguous peak instead of ghost responses.
+package radar
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/csp"
+)
+
+// Waveform is a frequency-hopping pulse train: pulse i transmits frequency
+// bin Hops[i] ∈ {0..n−1}. For Costas use the hop pattern is a permutation,
+// but the analysis here accepts any pattern so that degraded designs can
+// be compared.
+type Waveform struct {
+	Hops []int
+}
+
+// NewWaveform validates hop values and returns the waveform.
+func NewWaveform(hops []int) (Waveform, error) {
+	n := len(hops)
+	for i, h := range hops {
+		if h < 0 || h >= n {
+			return Waveform{}, fmt.Errorf("radar: hop %d out of range [0,%d): %d", i, n, h)
+		}
+	}
+	return Waveform{Hops: append([]int(nil), hops...)}, nil
+}
+
+// N returns the number of pulses (= frequency bins).
+func (w Waveform) N() int { return len(w.Hops) }
+
+// IsPermutation reports whether every frequency bin is used exactly once.
+func (w Waveform) IsPermutation() bool { return csp.IsPermutation(w.Hops) }
+
+// Ambiguity is the discrete delay–Doppler coincidence surface of a
+// waveform: At(dt, df) with dt, df ∈ [−(n−1), n−1].
+type Ambiguity struct {
+	n    int
+	grid [][]int // (2n−1)×(2n−1), indexed [dt+n−1][df+n−1]
+}
+
+// ComputeAmbiguity builds the full surface in O(n²).
+func ComputeAmbiguity(w Waveform) Ambiguity {
+	n := w.N()
+	a := Ambiguity{n: n, grid: make([][]int, 2*n-1)}
+	for i := range a.grid {
+		a.grid[i] = make([]int, 2*n-1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dt := j - i
+			df := w.Hops[j] - w.Hops[i]
+			a.grid[dt+n-1][df+n-1]++
+		}
+	}
+	return a
+}
+
+// At returns A(dt, df); shifts outside the support return 0.
+func (a Ambiguity) At(dt, df int) int {
+	r, c := dt+a.n-1, df+a.n-1
+	if r < 0 || r >= len(a.grid) || c < 0 || c >= len(a.grid) {
+		return 0
+	}
+	return a.grid[r][c]
+}
+
+// Peak returns A(0,0), the matched-filter main lobe (= n for any pattern).
+func (a Ambiguity) Peak() int { return a.At(0, 0) }
+
+// MaxSidelobe returns the largest off-origin ambiguity value.
+func (a Ambiguity) MaxSidelobe() int {
+	max := 0
+	origin := a.n - 1
+	for r, row := range a.grid {
+		for c, v := range row {
+			if r == origin && c == origin {
+				continue
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// IsThumbtack reports whether every off-origin sidelobe is ≤ 1 — for
+// permutation patterns this is equivalent to the Costas property, and the
+// tests cross-validate the two definitions.
+func (a Ambiguity) IsThumbtack() bool { return a.MaxSidelobe() <= 1 }
+
+// SidelobeHistogram returns counts[v] = number of off-origin (dt, df)
+// cells with ambiguity exactly v, for v up to the peak. Waveform designers
+// read this as the distribution of ghost-response strengths.
+func (a Ambiguity) SidelobeHistogram() []int {
+	counts := make([]int, a.Peak()+1)
+	origin := a.n - 1
+	for r, row := range a.grid {
+		for c, v := range row {
+			if r == origin && c == origin {
+				continue
+			}
+			counts[v]++
+		}
+	}
+	return counts
+}
+
+// Render draws the surface region |dt|, |df| ≤ halfWidth with digits
+// ('.' = 0, '*' ≥ 10), origin at the center.
+func (a Ambiguity) Render(halfWidth int) string {
+	var b strings.Builder
+	for dt := -halfWidth; dt <= halfWidth; dt++ {
+		for df := -halfWidth; df <= halfWidth; df++ {
+			v := a.At(dt, df)
+			switch {
+			case v == 0:
+				b.WriteString(" .")
+			case v < 10:
+				fmt.Fprintf(&b, " %d", v)
+			default:
+				b.WriteString(" *")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CrossCoincidence counts, for two waveforms of equal length, the maximum
+// number of pulse/frequency coincidences over all relative delay/Doppler
+// shifts — the mutual-interference figure for operating two hoppers in the
+// same band. (Pairs of Costas arrays with low cross-coincidence are the
+// basis of multi-user radar; finding such *pairs* is an open optimisation
+// problem the paper's future-work section gestures at.)
+func CrossCoincidence(w1, w2 Waveform) (int, error) {
+	if w1.N() != w2.N() {
+		return 0, fmt.Errorf("radar: waveform lengths differ: %d vs %d", w1.N(), w2.N())
+	}
+	n := w1.N()
+	counts := map[[2]int]int{}
+	best := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			key := [2]int{j - i, w2.Hops[j] - w1.Hops[i]}
+			counts[key]++
+			if counts[key] > best {
+				best = counts[key]
+			}
+		}
+	}
+	return best, nil
+}

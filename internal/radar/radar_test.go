@@ -1,0 +1,203 @@
+package radar
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/costas"
+	"repro/internal/csp"
+	"repro/internal/rng"
+)
+
+func mustWaveform(t *testing.T, hops []int) Waveform {
+	t.Helper()
+	w, err := NewWaveform(hops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWaveformValidates(t *testing.T) {
+	if _, err := NewWaveform([]int{0, 5, 1}); err == nil {
+		t.Fatal("accepted out-of-range hop")
+	}
+	if _, err := NewWaveform([]int{0, -1}); err == nil {
+		t.Fatal("accepted negative hop")
+	}
+	w := mustWaveform(t, []int{1, 0, 2})
+	if w.N() != 3 || !w.IsPermutation() {
+		t.Fatal("basic accessors wrong")
+	}
+}
+
+func TestWaveformCopiesInput(t *testing.T) {
+	hops := []int{0, 1, 2}
+	w := mustWaveform(t, hops)
+	hops[0] = 2
+	if w.Hops[0] != 0 {
+		t.Fatal("waveform shares caller storage")
+	}
+}
+
+func TestAmbiguityPeak(t *testing.T) {
+	w := mustWaveform(t, []int{2, 3, 1, 0, 4}) // paper's example array
+	a := ComputeAmbiguity(w)
+	if a.Peak() != 5 {
+		t.Fatalf("peak %d, want 5", a.Peak())
+	}
+	if a.At(100, 100) != 0 {
+		t.Fatal("out-of-support shift should be 0")
+	}
+}
+
+// TestThumbtackEquivalentToCostas is the central cross-validation: for
+// permutation hop patterns, the ≤1-sidelobe property must coincide exactly
+// with costas.IsCostas.
+func TestThumbtackEquivalentToCostas(t *testing.T) {
+	r := rng.New(5)
+	agree := 0
+	for trial := 0; trial < 300; trial++ {
+		n := 4 + r.Intn(8)
+		perm := csp.RandomConfiguration(n, r)
+		a := ComputeAmbiguity(Waveform{Hops: perm})
+		if a.IsThumbtack() != costas.IsCostas(perm) {
+			t.Fatalf("thumbtack=%v but IsCostas=%v for %v",
+				a.IsThumbtack(), costas.IsCostas(perm), perm)
+		}
+		agree++
+	}
+	if agree != 300 {
+		t.Fatal("test loop broken")
+	}
+}
+
+func TestEveryEnumeratedCostasIsThumbtack(t *testing.T) {
+	costas.Enumerate(8, func(p []int) bool {
+		a := ComputeAmbiguity(Waveform{Hops: p})
+		if !a.IsThumbtack() {
+			t.Fatalf("Costas array %v has sidelobe %d", p, a.MaxSidelobe())
+		}
+		return true
+	})
+}
+
+func TestChirpIsWorstCase(t *testing.T) {
+	n := 10
+	chirp := make([]int, n)
+	for i := range chirp {
+		chirp[i] = i
+	}
+	a := ComputeAmbiguity(Waveform{Hops: chirp})
+	// A shifted chirp re-aligns in n−1 pulses at (dt, df) = (1, 1).
+	if got := a.At(1, 1); got != n-1 {
+		t.Fatalf("chirp A(1,1) = %d, want %d", got, n-1)
+	}
+	if a.MaxSidelobe() != n-1 {
+		t.Fatalf("chirp max sidelobe %d, want %d", a.MaxSidelobe(), n-1)
+	}
+}
+
+func TestAmbiguitySymmetry(t *testing.T) {
+	// A(dt, df) = A(−dt, −df) for any pattern (coincidence pairs reverse).
+	r := rng.New(9)
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + r.Intn(8)
+		perm := csp.RandomConfiguration(n, r)
+		a := ComputeAmbiguity(Waveform{Hops: perm})
+		for dt := -(n - 1); dt <= n-1; dt++ {
+			for df := -(n - 1); df <= n-1; df++ {
+				if a.At(dt, df) != a.At(-dt, -df) {
+					t.Fatalf("asymmetry at (%d,%d) for %v", dt, df, perm)
+				}
+			}
+		}
+	}
+}
+
+func TestAmbiguityMassConservation(t *testing.T) {
+	// Σ over all (dt, df) of A = n² (every ordered pulse pair lands in
+	// exactly one cell).
+	r := rng.New(11)
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + r.Intn(10)
+		perm := csp.RandomConfiguration(n, r)
+		a := ComputeAmbiguity(Waveform{Hops: perm})
+		sum := 0
+		for dt := -(n - 1); dt <= n-1; dt++ {
+			for df := -(n - 1); df <= n-1; df++ {
+				sum += a.At(dt, df)
+			}
+		}
+		if sum != n*n {
+			t.Fatalf("mass %d, want %d", sum, n*n)
+		}
+	}
+}
+
+func TestSidelobeHistogram(t *testing.T) {
+	p := costas.First(7)
+	a := ComputeAmbiguity(Waveform{Hops: p})
+	h := a.SidelobeHistogram()
+	// For a Costas array of order n: n(n−1) ordered pairs spread over
+	// distinct off-origin cells, each of value 1.
+	if h[1] != 7*6 {
+		t.Fatalf("histogram[1] = %d, want 42", h[1])
+	}
+	for v := 2; v < len(h); v++ {
+		if h[v] != 0 {
+			t.Fatalf("histogram[%d] = %d, want 0 for Costas", v, h[v])
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	a := ComputeAmbiguity(Waveform{Hops: []int{2, 3, 1, 0, 4}})
+	out := a.Render(2)
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+	lines := 0
+	for _, ch := range out {
+		if ch == '\n' {
+			lines++
+		}
+	}
+	if lines != 5 {
+		t.Fatalf("render has %d lines, want 5", lines)
+	}
+}
+
+func TestCrossCoincidence(t *testing.T) {
+	w1 := Waveform{Hops: costas.First(8)}
+	w2 := Waveform{Hops: costas.Reverse(costas.First(8))}
+	v, err := CrossCoincidence(w1, w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 1 || v > 8 {
+		t.Fatalf("cross-coincidence %d out of range", v)
+	}
+	// Self cross-coincidence at zero shift is the full peak.
+	self, _ := CrossCoincidence(w1, w1)
+	if self != 8 {
+		t.Fatalf("self coincidence %d, want 8", self)
+	}
+	if _, err := CrossCoincidence(w1, Waveform{Hops: []int{0, 1}}); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+}
+
+// Property: max sidelobe of any permutation pattern is between 1 and n−1.
+func TestQuickSidelobeBounds(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%10) + 3
+		perm := csp.RandomConfiguration(n, rng.New(seed))
+		a := ComputeAmbiguity(Waveform{Hops: perm})
+		sl := a.MaxSidelobe()
+		return sl >= 1 && sl <= n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

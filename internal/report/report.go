@@ -1,0 +1,191 @@
+// Package report renders the text tables and log-log speed-up charts the
+// paper presents, so the benchmark harness output is directly comparable to
+// Tables I–V and Figures 2–3.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows of string cells under a header and renders with
+// aligned columns — the plain-text equivalent of the paper's tables.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Secs formats seconds the way the paper's tables do (two decimals, with
+// sub-10ms times keeping more precision so "0.00" rows stay informative).
+func Secs(s float64) string {
+	switch {
+	case s == 0:
+		return "0.00"
+	case s < 0.005:
+		return fmt.Sprintf("%.4f", s)
+	default:
+		return fmt.Sprintf("%.2f", s)
+	}
+}
+
+// Count formats large integers with thousands separators for readability.
+func Count(v int64) string {
+	s := fmt.Sprintf("%d", v)
+	if len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	pre := len(s) % 3
+	if pre > 0 {
+		b.WriteString(s[:pre])
+		if len(s) > pre {
+			b.WriteByte(',')
+		}
+	}
+	for i := pre; i < len(s); i += 3 {
+		b.WriteString(s[i : i+3])
+		if i+3 < len(s) {
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}
+
+// LogLogChart renders series of (cores, value) points on log₂-x / log₂-y
+// axes — the layout of Figure 2/3 ("execution times are halved when the
+// number of cores is doubled" appears as parallel straight lines).
+type LogLogChart struct {
+	Title   string
+	XLabel  string
+	YLabel  string
+	serieNm []string
+	series  [][]ChartPoint
+}
+
+// ChartPoint is one (x, y) observation with x typically a core count.
+type ChartPoint struct {
+	X, Y float64
+}
+
+// NewLogLogChart creates an empty chart.
+func NewLogLogChart(title, xlabel, ylabel string) *LogLogChart {
+	return &LogLogChart{Title: title, XLabel: xlabel, YLabel: ylabel}
+}
+
+// AddSeries appends a named series of points.
+func (c *LogLogChart) AddSeries(name string, pts []ChartPoint) {
+	c.serieNm = append(c.serieNm, name)
+	c.series = append(c.series, pts)
+}
+
+// String renders an ASCII chart (fixed 72×20 plot area).
+func (c *LogLogChart) String() string {
+	const w, h = 72, 20
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for _, p := range s {
+			if p.X <= 0 || p.Y <= 0 {
+				continue
+			}
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			minY = math.Min(minY, p.Y)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if minX > maxX || minY > maxY {
+		return c.Title + "\n(no data)\n"
+	}
+	if minY == maxY {
+		maxY = minY * 2
+	}
+	if minX == maxX {
+		maxX = minX * 2
+	}
+	lx := func(x float64) float64 { return math.Log2(x) }
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	marks := []byte{'*', 'o', '#', '@', '%', '&'}
+	for si, s := range c.series {
+		mark := marks[si%len(marks)]
+		for _, p := range s {
+			if p.X <= 0 || p.Y <= 0 {
+				continue
+			}
+			col := int((lx(p.X) - lx(minX)) / (lx(maxX) - lx(minX)) * float64(w-1))
+			row := h - 1 - int((lx(p.Y)-lx(minY))/(lx(maxY)-lx(minY))*float64(h-1))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  [log-log: %s vs %s]\n", c.Title, c.YLabel, c.XLabel)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "+%s\n %.3g%*s%.3g\n", strings.Repeat("-", w), minX, w-6, c.XLabel+"=", maxX)
+	for si, name := range c.serieNm {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[si%len(marks)], name)
+	}
+	return b.String()
+}

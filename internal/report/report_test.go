@@ -1,0 +1,85 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X", "size", "avg", "min")
+	tb.AddRow("16", "0.08", "0.00")
+	tb.AddRow("17", "0.59") // short row padded
+	out := tb.String()
+	if !strings.Contains(out, "Table X") || !strings.Contains(out, "size") {
+		t.Fatalf("missing title/header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: every data line at least as wide as the header line.
+	if len(lines[3]) < len(strings.TrimRight(lines[1], " ")) {
+		t.Fatalf("row narrower than header:\n%s", out)
+	}
+}
+
+func TestSecsFormats(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0.00",
+		0.003:  "0.0030",
+		0.08:   "0.08",
+		250.68: "250.68",
+	}
+	for in, want := range cases {
+		if got := Secs(in); got != want {
+			t.Errorf("Secs(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCountFormats(t *testing.T) {
+	cases := map[int64]string{
+		0:        "0",
+		999:      "999",
+		1000:     "1,000",
+		12665:    "12,665",
+		20536809: "20,536,809",
+	}
+	for in, want := range cases {
+		if got := Count(in); got != want {
+			t.Errorf("Count(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLogLogChart(t *testing.T) {
+	c := NewLogLogChart("Speed-ups", "cores", "time")
+	c.AddSeries("CAP 22", []ChartPoint{{32, 500}, {64, 250}, {128, 125}, {256, 62}})
+	c.AddSeries("CAP 21", []ChartPoint{{32, 160}, {64, 80}, {128, 40}, {256, 16}})
+	out := c.String()
+	if !strings.Contains(out, "Speed-ups") || !strings.Contains(out, "CAP 22") {
+		t.Fatalf("chart missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("chart missing series marks:\n%s", out)
+	}
+}
+
+func TestLogLogChartEmpty(t *testing.T) {
+	c := NewLogLogChart("empty", "x", "y")
+	if !strings.Contains(c.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+	c.AddSeries("bad", []ChartPoint{{0, 1}, {-3, 5}})
+	if !strings.Contains(c.String(), "no data") {
+		t.Fatal("non-positive points should be ignored")
+	}
+}
+
+func TestLogLogChartSinglePoint(t *testing.T) {
+	c := NewLogLogChart("one", "x", "y")
+	c.AddSeries("s", []ChartPoint{{32, 100}})
+	if strings.Contains(c.String(), "no data") {
+		t.Fatal("single point should render")
+	}
+}

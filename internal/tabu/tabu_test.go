@@ -1,0 +1,81 @@
+package tabu
+
+import (
+	"testing"
+
+	"repro/internal/costas"
+	"repro/internal/csp"
+)
+
+func TestSolvesSmallCostas(t *testing.T) {
+	for _, n := range []int{6, 8, 10, 12} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			m := costas.New(n, costas.Options{})
+			s := New(m, Params{}, seed)
+			if !s.Solve() {
+				t.Fatalf("tabu failed on CAP %d seed %d", n, seed)
+			}
+			if !costas.IsCostas(s.Solution()) {
+				t.Fatalf("tabu returned non-Costas %v for n=%d", s.Solution(), n)
+			}
+		}
+	}
+}
+
+func TestSolvesCAP13(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CAP 13 via tabu skipped in -short mode")
+	}
+	m := costas.New(13, costas.Options{})
+	s := New(m, Params{}, 2)
+	if !s.Solve() {
+		t.Fatal("tabu failed on CAP 13")
+	}
+}
+
+func TestIterationBudget(t *testing.T) {
+	m := costas.New(18, costas.Options{})
+	s := New(m, Params{MaxIterations: 100}, 1)
+	s.Solve()
+	if s.Stats().Iterations > 100 {
+		t.Fatalf("ran %d iterations with budget 100", s.Stats().Iterations)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() Stats {
+		m := costas.New(10, costas.Options{})
+		s := New(m, Params{}, 9)
+		s.Solve()
+		return s.Stats()
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different stats")
+	}
+}
+
+func TestBestTracksImprovement(t *testing.T) {
+	m := costas.New(14, costas.Options{})
+	s := New(m, Params{MaxIterations: 500}, 4)
+	s.Solve()
+	// The recorded best must never be worse than the final configuration's
+	// cost and must be a valid permutation.
+	if !csp.IsPermutation(s.Solution()) {
+		t.Fatalf("best is not a permutation: %v", s.Solution())
+	}
+	check := costas.New(14, costas.Options{})
+	check.Bind(s.Solution())
+	if check.Cost() > s.bestCost {
+		t.Fatalf("best cost bookkeeping wrong: stored %d, actual %d", s.bestCost, check.Cost())
+	}
+}
+
+func TestTrivialSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		m := costas.New(n, costas.Options{})
+		s := New(m, Params{}, 1)
+		if !s.Solve() {
+			t.Fatalf("tabu failed on trivial n=%d", n)
+		}
+	}
+}

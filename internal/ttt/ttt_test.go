@@ -1,0 +1,142 @@
+package ttt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// expSample draws n shifted-exponential variates with the given parameters.
+func expSample(n int, mu, lambda float64, seed uint64) []float64 {
+	r := rng.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		u := r.Float64()
+		out[i] = mu - lambda*math.Log(1-u)
+	}
+	return out
+}
+
+func TestFitRecoversParameters(t *testing.T) {
+	times := expSample(2000, 3.0, 10.0, 42)
+	p := New(times)
+	if math.Abs(p.Mu-3.0) > 0.5 {
+		t.Fatalf("fitted mu %.3f far from 3.0", p.Mu)
+	}
+	if math.Abs(p.Lambda-10.0) > 1.0 {
+		t.Fatalf("fitted lambda %.3f far from 10.0", p.Lambda)
+	}
+	if p.KS > 0.05 {
+		t.Fatalf("KS %.3f too large for a true exponential sample", p.KS)
+	}
+}
+
+func TestEmpiricalCDFMonotone(t *testing.T) {
+	p := New(expSample(500, 0, 5, 7))
+	for i := 1; i < len(p.Points); i++ {
+		if p.Points[i].T < p.Points[i-1].T || p.Points[i].P <= p.Points[i-1].P {
+			t.Fatalf("CDF not monotone at %d", i)
+		}
+	}
+	first, last := p.Points[0].P, p.Points[len(p.Points)-1].P
+	if first <= 0 || last >= 1 {
+		t.Fatalf("plotting positions out of (0,1): %v, %v", first, last)
+	}
+}
+
+func TestCDFAndInverseAgree(t *testing.T) {
+	p := New(expSample(1000, 2, 4, 9))
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		x := p.InverseCDF(q)
+		if got := p.CDF(x); math.Abs(got-q) > 1e-9 {
+			t.Fatalf("CDF(InverseCDF(%v)) = %v", q, got)
+		}
+	}
+	if p.CDF(p.Mu-1) != 0 {
+		t.Fatal("CDF below shift should be 0")
+	}
+	if !math.IsInf(p.InverseCDF(1), 1) {
+		t.Fatal("InverseCDF(1) should be +Inf")
+	}
+	if p.InverseCDF(0) != p.Mu {
+		t.Fatal("InverseCDF(0) should be mu")
+	}
+}
+
+func TestProbWithin(t *testing.T) {
+	p := New([]float64{1, 2, 3, 4})
+	cases := map[float64]float64{0.5: 0, 1: 0.25, 2.5: 0.5, 4: 1, 100: 1}
+	for tt, want := range cases {
+		if got := p.ProbWithin(tt); got != want {
+			t.Fatalf("ProbWithin(%v) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestMinSpeedupConsistent(t *testing.T) {
+	p := New(expSample(1000, 0, 8, 3))
+	k := p.MinSpeedupConsistent(4)
+	if math.Abs(k.Lambda-p.Lambda/4) > 1e-12 {
+		t.Fatal("parallel lambda not scaled by 1/K")
+	}
+	// Empirically: min of 4 draws should fit the scaled model closely.
+	r := rng.New(11)
+	mins := make([]float64, 500)
+	for i := range mins {
+		m := math.Inf(1)
+		for j := 0; j < 4; j++ {
+			u := r.Float64()
+			x := -8 * math.Log(1-u)
+			if x < m {
+				m = x
+			}
+		}
+		mins[i] = m
+	}
+	pm := New(mins)
+	if math.Abs(pm.Lambda-2.0) > 0.4 {
+		t.Fatalf("min-of-4 fitted lambda %.3f, expected ≈2.0", pm.Lambda)
+	}
+}
+
+func TestDegenerateSamples(t *testing.T) {
+	p := New([]float64{5, 5, 5})
+	if p.Mu != 5 {
+		t.Fatalf("constant sample mu %v", p.Mu)
+	}
+	empty := New(nil)
+	if len(empty.Points) != 0 {
+		t.Fatal("empty sample should have no points")
+	}
+	single := New([]float64{2})
+	if single.Points[0].P != 0.5 {
+		t.Fatalf("single point plotting position %v", single.Points[0].P)
+	}
+}
+
+func TestRender(t *testing.T) {
+	p := New(expSample(100, 1, 3, 5))
+	out := p.Render(60, 12)
+	if len(out) == 0 || out == "(empty ttt plot)\n" {
+		t.Fatal("render produced nothing")
+	}
+	if New(nil).Render(60, 12) != "(empty ttt plot)\n" {
+		t.Fatal("empty plot should render placeholder")
+	}
+}
+
+func TestKSDetectsNonExponential(t *testing.T) {
+	// A uniform sample is far from exponential: KS should be noticeably
+	// larger than for a genuine exponential of the same size.
+	r := rng.New(13)
+	uni := make([]float64, 800)
+	for i := range uni {
+		uni[i] = 5 + 5*r.Float64() // uniform [5, 10): strongly non-exponential
+	}
+	pu := New(uni)
+	pe := New(expSample(800, 5, 5, 14))
+	if pu.KS <= pe.KS {
+		t.Fatalf("uniform KS %.3f not worse than exponential KS %.3f", pu.KS, pe.KS)
+	}
+}

@@ -1,0 +1,255 @@
+package walk
+
+// This file implements the *dependent* multiple-walk scheme the paper's
+// conclusion (§VI) sketches as future work: walkers that communicate,
+// with the two stated design goals —
+//
+//	(1) "minimizing data transfers as much as possible", and
+//	(2) "re-using some common computations and/or recording previous
+//	     interesting crossroads in the resolution, from which a restart
+//	     can be operated".
+//
+// The design here follows those goals literally. Walkers share a small
+// fixed-size *crossroads pool* of promising configurations (low-cost
+// points encountered at local minima). Communication is tiny and rare:
+// a walker offers its configuration to the pool only when its cost beats
+// the pool's worst entry (goal 1), and a walker performing a restart
+// draws a crossroad from the pool with probability RestartFromPool
+// instead of a fresh random permutation (goal 2). Everything else is the
+// plain independent multi-walk of §V-A, so the independent scheme is the
+// RestartFromPool = 0 special case.
+//
+// The cooperative scheme is *not* part of the paper's evaluation — it is
+// its future work — so the benchmarks report it as an extension
+// (cmd/paperbench is unaffected; see the cooperative benches in
+// bench_test.go and the walk tests for behaviour).
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/csp"
+	"repro/internal/rng"
+)
+
+// CoopConfig extends Config with the communication policy.
+type CoopConfig struct {
+	Config
+
+	// PoolSize is the number of crossroads retained (default 8).
+	PoolSize int
+
+	// RestartFromPool is the probability that a walker's restart resumes
+	// from a pooled crossroad instead of a fresh random configuration
+	// (default 0.5; 0 reduces to independent multi-walk).
+	RestartFromPool float64
+
+	// OfferThreshold: a walker offers its configuration to the pool when
+	// its cost is below bestKnown × OfferThreshold (default 1.25) — the
+	// "interesting crossroads" filter.
+	OfferThreshold float64
+}
+
+func (c CoopConfig) withDefaults() CoopConfig {
+	c.Config = c.Config.withDefaults()
+	if c.PoolSize <= 0 {
+		c.PoolSize = 8
+	}
+	if c.RestartFromPool == 0 {
+		c.RestartFromPool = 0.5
+	}
+	if c.OfferThreshold == 0 {
+		c.OfferThreshold = 1.25
+	}
+	return c
+}
+
+// crossroadPool is the shared bounded store of promising configurations.
+// All methods are safe for concurrent use; entries are kept sorted by
+// cost so the worst is evicted first.
+type crossroadPool struct {
+	mu      sync.Mutex
+	max     int
+	entries []crossroad
+}
+
+type crossroad struct {
+	cfg  []int
+	cost int
+}
+
+func newCrossroadPool(max int) *crossroadPool {
+	return &crossroadPool{max: max}
+}
+
+// offer inserts cfg if the pool has room or cfg beats the current worst;
+// it reports whether the entry was kept.
+func (p *crossroadPool) offer(cfg []int, cost int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.entries) >= p.max && cost >= p.entries[len(p.entries)-1].cost {
+		return false
+	}
+	entry := crossroad{cfg: append([]int(nil), cfg...), cost: cost}
+	p.entries = append(p.entries, entry)
+	sort.Slice(p.entries, func(i, j int) bool { return p.entries[i].cost < p.entries[j].cost })
+	if len(p.entries) > p.max {
+		p.entries = p.entries[:p.max]
+	}
+	return true
+}
+
+// sample copies a uniformly chosen crossroad into dst and reports whether
+// the pool was non-empty.
+func (p *crossroadPool) sample(dst []int, r *rng.RNG) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.entries) == 0 {
+		return false
+	}
+	copy(dst, p.entries[r.Intn(len(p.entries))].cfg)
+	return true
+}
+
+// bestCost returns the lowest pooled cost (MaxInt when empty).
+func (p *crossroadPool) bestCost() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.entries) == 0 {
+		return int(^uint(0) >> 1)
+	}
+	return p.entries[0].cost
+}
+
+// size returns the current number of pooled crossroads.
+func (p *crossroadPool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
+// CoopResult extends Result with communication counters.
+type CoopResult struct {
+	Result
+	Offers      int64 // configurations offered to the pool
+	Accepted    int64 // offers retained
+	PoolRestart int64 // restarts seeded from the pool
+}
+
+// Cooperative runs the dependent multi-walk in lockstep virtual time (the
+// mode comparable to Virtual — the extension benchmarks compare the two
+// directly). Each walker runs its own engine; at every quantum boundary it
+// may offer its configuration to the pool, and engine restarts are
+// intercepted so that with probability RestartFromPool the walker resumes
+// from a pooled crossroad.
+//
+// Implementation note: engines expose restarts only through their stats,
+// so the interception is cooperative — walkers run with restarts disabled
+// and this scheduler performs the restart policy itself every quantum,
+// mirroring the engine's RestartLimit accounting.
+func Cooperative(newModel func() csp.Model, cfg CoopConfig, maxVirtualIterations int64) CoopResult {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+
+	seeds := rng.NewChaoticSeeder(cfg.MasterSeed).Seeds(cfg.Walkers)
+	restartLimit := cfg.Params.RestartLimit
+	if restartLimit == 0 {
+		n := newModel().Size()
+		restartLimit = 2 * int64(n) * int64(n)
+	}
+	engineParams := cfg.Params
+	engineParams.RestartLimit = -1 // scheduler owns the restart policy
+
+	walkers := make([]*coopWalker, cfg.Walkers)
+	for i := range walkers {
+		m := newModel()
+		walkers[i] = &coopWalker{
+			engine: adaptive.NewEngine(m, engineParams, seeds[i]),
+			r:      rng.New(seeds[i] ^ 0xD1B54A32D192ED03),
+		}
+	}
+
+	pool := newCrossroadPool(cfg.PoolSize)
+	res := CoopResult{}
+	var virtualTime int64
+
+	for {
+		solvedAny := false
+		for _, w := range walkers {
+			if w.engine.Solved() || w.engine.Exhausted() {
+				continue
+			}
+			if w.engine.Step(cfg.CheckEvery) {
+				solvedAny = true
+				continue
+			}
+			w.sinceRst += int64(cfg.CheckEvery)
+
+			// Offer interesting crossroads (goal 2's "recording").
+			cost := w.engine.Cost()
+			res.Offers++
+			if float64(cost) <= cfg.OfferThreshold*float64(pool.bestCost()) || pool.size() < cfg.PoolSize {
+				if pool.offer(w.engine.Solution(), cost) {
+					res.Accepted++
+				}
+			}
+
+			// Scheduler-driven restart with pool seeding.
+			if w.sinceRst >= restartLimit {
+				w.sinceRst = 0
+				cfgSlice := w.engine.Solution() // correctly sized scratch copy
+				if w.r.Float64() < cfg.RestartFromPool && pool.sample(cfgSlice, w.r) {
+					res.PoolRestart++
+				} else {
+					w.r.PermInto(cfgSlice)
+				}
+				w.engine.RestartFrom(cfgSlice)
+				if w.engine.Solved() {
+					solvedAny = true
+				}
+			}
+		}
+		virtualTime += int64(cfg.CheckEvery)
+
+		if solvedAny || allDone(walkers) {
+			break
+		}
+		if maxVirtualIterations > 0 && virtualTime >= maxVirtualIterations {
+			break
+		}
+	}
+
+	engines := make([]*adaptive.Engine, len(walkers))
+	for i, w := range walkers {
+		engines[i] = w.engine
+	}
+	winner := -1
+	var best int64
+	for i, e := range engines {
+		if e.Solved() {
+			if it := e.Stats().Iterations; winner == -1 || it < best {
+				winner, best = i, it
+			}
+		}
+	}
+	res.Result = collect(engines, winner, start)
+	return res
+}
+
+// coopWalker is one cooperative walker's private state.
+type coopWalker struct {
+	engine   *adaptive.Engine
+	r        *rng.RNG
+	sinceRst int64
+}
+
+func allDone(walkers []*coopWalker) bool {
+	for _, w := range walkers {
+		if !w.engine.Solved() && !w.engine.Exhausted() {
+			return false
+		}
+	}
+	return true
+}

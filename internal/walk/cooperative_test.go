@@ -1,0 +1,131 @@
+package walk
+
+import (
+	"testing"
+
+	"repro/internal/costas"
+	"repro/internal/rng"
+)
+
+func coopConfig(n, walkers int, seed uint64) CoopConfig {
+	return CoopConfig{Config: capConfig(n, walkers, seed)}
+}
+
+func TestCooperativeSolves(t *testing.T) {
+	res := Cooperative(capFactory(13), coopConfig(13, 8, 3), 0)
+	if !res.Solved {
+		t.Fatalf("cooperative run unsolved: %v", res.Result)
+	}
+	if !costas.IsCostas(res.Solution) {
+		t.Fatalf("invalid solution %v", res.Solution)
+	}
+}
+
+func TestCooperativeDeterministic(t *testing.T) {
+	r1 := Cooperative(capFactory(12), coopConfig(12, 8, 7), 0)
+	r2 := Cooperative(capFactory(12), coopConfig(12, 8, 7), 0)
+	if r1.WinnerIterations != r2.WinnerIterations || r1.Winner != r2.Winner {
+		t.Fatalf("cooperative mode not reproducible: (%d,%d) vs (%d,%d)",
+			r1.Winner, r1.WinnerIterations, r2.Winner, r2.WinnerIterations)
+	}
+}
+
+func TestCooperativeZeroProbIsIndependent(t *testing.T) {
+	// With RestartFromPool ≈ 0 the scheme must still solve (it degenerates
+	// to independent multi-walk with scheduler-side restarts).
+	cfg := coopConfig(12, 4, 5)
+	cfg.RestartFromPool = -1 // Float64() < -1 is never true
+	res := Cooperative(capFactory(12), cfg, 0)
+	if !res.Solved {
+		t.Fatal("independent-degenerate cooperative run unsolved")
+	}
+	if res.PoolRestart != 0 {
+		t.Fatalf("pool restarts happened with probability 0: %d", res.PoolRestart)
+	}
+}
+
+func TestCooperativeCommunicationCounters(t *testing.T) {
+	// On an instance hard enough to need restarts, the pool must see
+	// offers and some accepted entries.
+	cfg := coopConfig(15, 8, 11)
+	res := Cooperative(capFactory(15), cfg, 0)
+	if !res.Solved {
+		t.Fatal("unsolved")
+	}
+	if res.Offers == 0 || res.Accepted == 0 {
+		t.Fatalf("no pool traffic recorded: %+v", res)
+	}
+	if res.Accepted > res.Offers {
+		t.Fatalf("accepted %d > offers %d", res.Accepted, res.Offers)
+	}
+}
+
+func TestCooperativeBudgetStops(t *testing.T) {
+	res := Cooperative(capFactory(18), coopConfig(18, 4, 1), 256)
+	if res.Solved {
+		t.Skip("improbably lucky run")
+	}
+	for i, s := range res.Stats {
+		if s.Iterations > 512 {
+			t.Fatalf("walker %d exceeded budget: %d", i, s.Iterations)
+		}
+	}
+}
+
+func TestCrossroadPool(t *testing.T) {
+	p := newCrossroadPool(2)
+	if p.size() != 0 || p.bestCost() != int(^uint(0)>>1) {
+		t.Fatal("empty pool accessors wrong")
+	}
+	if !p.offer([]int{0, 1}, 10) {
+		t.Fatal("offer to empty pool rejected")
+	}
+	if !p.offer([]int{1, 0}, 5) {
+		t.Fatal("better offer rejected")
+	}
+	if p.bestCost() != 5 || p.size() != 2 {
+		t.Fatalf("pool state wrong: best=%d size=%d", p.bestCost(), p.size())
+	}
+	// Worse than current worst, pool full: rejected.
+	if p.offer([]int{0, 1}, 50) {
+		t.Fatal("worse-than-worst offer accepted into full pool")
+	}
+	// Better than worst: evicts.
+	if !p.offer([]int{0, 1}, 7) {
+		t.Fatal("mid-cost offer rejected")
+	}
+	if p.size() != 2 {
+		t.Fatalf("pool grew past max: %d", p.size())
+	}
+	dst := make([]int, 2)
+	if !p.sample(dst, rng.New(1)) {
+		t.Fatal("sample from non-empty pool failed")
+	}
+}
+
+func TestCrossroadPoolCopiesConfigs(t *testing.T) {
+	p := newCrossroadPool(4)
+	cfg := []int{2, 0, 1}
+	p.offer(cfg, 3)
+	cfg[0] = 99
+	dst := make([]int, 3)
+	p.sample(dst, rng.New(2))
+	if dst[0] == 99 {
+		t.Fatal("pool shares caller storage")
+	}
+}
+
+func TestCooperativeVsVirtualSameInterface(t *testing.T) {
+	// The extension must be a drop-in: same Result surface, valid stats.
+	res := Cooperative(capFactory(12), coopConfig(12, 4, 9), 0)
+	var sum int64
+	for _, s := range res.Stats {
+		sum += s.Iterations
+	}
+	if sum != res.TotalIterations {
+		t.Fatalf("TotalIterations %d != Σ stats %d", res.TotalIterations, sum)
+	}
+	if res.String() == "" {
+		t.Fatal("empty result string")
+	}
+}

@@ -1,0 +1,279 @@
+// Package walk implements the paper's parallel scheme (§V-A): independent
+// multi-walk (multi-start) local search with first-solution termination.
+//
+// The parallelisation is deliberately communication-free ("Pleasantly
+// Parallel"): K walkers run the same Adaptive Search engine from different
+// chaotically-derived seeds, and everything stops as soon as one finds a
+// solution. On K cores the wall time is the *minimum* of K i.i.d.
+// sequential runtimes; with (near-)exponential runtime distributions this
+// yields the near-linear speed-ups of Tables III–V.
+//
+// Two execution modes are provided:
+//
+//   - Parallel: real concurrency, one goroutine per walker (up to
+//     GOMAXPROCS effective hardware parallelism). Each walker checks a
+//     shared done flag every CheckEvery iterations — the Go analogue of the
+//     paper's non-blocking MPI probe "every c iterations".
+//
+//   - Virtual: a lockstep simulator that advances K walker engines in
+//     fixed iteration quanta of virtual time, with K far beyond the
+//     physical core count (the paper's 256…8192-core runs on a laptop).
+//     Because every walker advances at the same virtual rate, the winner
+//     and its iteration count are *exactly* what a K-core run would
+//     produce; only the conversion to seconds goes through a platform's
+//     calibrated iteration rate (internal/cluster). Conveniently the
+//     simulation costs roughly one sequential solve in total work: the
+//     winner's iteration count shrinks like 1/K while K walkers advance.
+package walk
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/csp"
+	"repro/internal/rng"
+)
+
+// Config describes a multi-walk run.
+type Config struct {
+	// Walkers is the number of independent walkers K (the paper's core
+	// count). Must be ≥ 1.
+	Walkers int
+
+	// CheckEvery is the termination-probe period c in iterations
+	// (§V-A: "non-blocking tests are involved every c iterations");
+	// it is also the lockstep quantum of the virtual mode. Default 64.
+	CheckEvery int
+
+	// Params are the engine parameters shared by all walkers.
+	Params adaptive.Params
+
+	// MasterSeed seeds the chaotic sequencer that derives per-walker seeds
+	// (§III-B3). Two runs with the same master seed and walker count are
+	// identical in the virtual mode and statistically equivalent in the
+	// real mode (where OS scheduling breaks determinism of the winner).
+	MasterSeed uint64
+
+	// MaxParallelism caps the number of OS-thread-backed goroutines used;
+	// 0 means GOMAXPROCS. (Virtual mode uses it for its worker pool.)
+	MaxParallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Walkers < 1 {
+		c.Walkers = 1
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 64
+	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Result reports the outcome of a multi-walk run.
+type Result struct {
+	Solved   bool
+	Solution []int
+	Winner   int // index of the winning walker (−1 if unsolved)
+
+	// WinnerIterations is the winning walker's iteration count at the
+	// moment it solved — the virtual-time makespan of the run.
+	WinnerIterations int64
+
+	// TotalIterations sums iterations across all walkers (the parallel
+	// work, ≈ K × WinnerIterations for the real mode).
+	TotalIterations int64
+
+	// WallTime is the real elapsed time of the call.
+	WallTime time.Duration
+
+	// Stats holds each walker's final counters.
+	Stats []adaptive.Stats
+}
+
+// Parallel runs K walkers concurrently on real goroutines and returns as
+// soon as one solves (or ctx is cancelled, or every walker exhausts
+// Params.MaxIterations).
+//
+// newModel must return a fresh, independent model instance per call; it is
+// invoked once per walker.
+func Parallel(ctx context.Context, newModel func() csp.Model, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+
+	seeds := rng.NewChaoticSeeder(cfg.MasterSeed).Seeds(cfg.Walkers)
+	engines := make([]*adaptive.Engine, cfg.Walkers)
+	for i := range engines {
+		engines[i] = adaptive.NewEngine(newModel(), cfg.Params, seeds[i])
+	}
+
+	var (
+		done      atomic.Bool
+		winnerIdx atomic.Int64
+	)
+	winnerIdx.Store(-1)
+
+	// A random initial configuration can already be a solution (always for
+	// n ≤ 2); workers skip solved engines, so detect this up front.
+	for i, e := range engines {
+		if e.Solved() {
+			return collect(engines, i, start)
+		}
+	}
+
+	// Bound real concurrency: a semaphore of MaxParallelism slots would
+	// serialise excess walkers entirely, which distorts the "all walkers
+	// advance together" model; instead shard walkers across workers, each
+	// worker round-robining its shard — the same fairness the MPI version
+	// gets from the OS scheduler.
+	workers := cfg.MaxParallelism
+	if workers > cfg.Walkers {
+		workers = cfg.Walkers
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !done.Load() {
+				progress := false
+				for i := w; i < cfg.Walkers; i += workers {
+					e := engines[i]
+					if e.Solved() || e.Exhausted() {
+						continue
+					}
+					progress = true
+					if e.Step(cfg.CheckEvery) {
+						if winnerIdx.CompareAndSwap(-1, int64(i)) {
+							done.Store(true)
+						}
+						return
+					}
+					if done.Load() || ctx.Err() != nil {
+						return
+					}
+				}
+				if !progress {
+					return // shard fully exhausted
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	return collect(engines, int(winnerIdx.Load()), start)
+}
+
+// Virtual advances K walker engines in lockstep quanta of CheckEvery
+// iterations of virtual time and returns when the first walker solves. The
+// returned WinnerIterations is exactly the makespan a K-core machine would
+// observe (in iterations); convert to seconds with a cluster.Platform rate.
+//
+// maxVirtualIterations bounds each walker's virtual time (0 = unlimited).
+func Virtual(newModel func() csp.Model, cfg Config, maxVirtualIterations int64) Result {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+
+	seeds := rng.NewChaoticSeeder(cfg.MasterSeed).Seeds(cfg.Walkers)
+	engines := make([]*adaptive.Engine, cfg.Walkers)
+	for i := range engines {
+		engines[i] = adaptive.NewEngine(newModel(), cfg.Params, seeds[i])
+	}
+
+	workers := cfg.MaxParallelism
+	if workers > cfg.Walkers {
+		workers = cfg.Walkers
+	}
+
+	var virtualTime int64
+	var anySolved atomic.Bool
+	var wg sync.WaitGroup
+	for {
+		// One lockstep round: every live walker advances CheckEvery
+		// iterations, sharded across the worker pool with a barrier.
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < cfg.Walkers; i += workers {
+					e := engines[i]
+					if e.Solved() || e.Exhausted() {
+						continue
+					}
+					if e.Step(cfg.CheckEvery) {
+						anySolved.Store(true)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		virtualTime += int64(cfg.CheckEvery)
+
+		if anySolved.Load() {
+			// The winner is the walker that solved at the lowest virtual
+			// time; within this round several may have solved — compare
+			// exact per-walker iteration counts.
+			winner := -1
+			var best int64
+			for i, e := range engines {
+				if !e.Solved() {
+					continue
+				}
+				if it := e.Stats().Iterations; winner == -1 || it < best {
+					winner, best = i, it
+				}
+			}
+			return collect(engines, winner, start)
+		}
+		if maxVirtualIterations > 0 && virtualTime >= maxVirtualIterations {
+			return collect(engines, -1, start)
+		}
+		// All walkers exhausted (MaxIterations)?
+		allDead := true
+		for _, e := range engines {
+			if !e.Exhausted() {
+				allDead = false
+				break
+			}
+		}
+		if allDead {
+			return collect(engines, -1, start)
+		}
+	}
+}
+
+// collect assembles a Result from finished engines.
+func collect(engines []*adaptive.Engine, winner int, start time.Time) Result {
+	res := Result{
+		Winner:   winner,
+		WallTime: time.Since(start),
+		Stats:    make([]adaptive.Stats, len(engines)),
+	}
+	for i, e := range engines {
+		res.Stats[i] = e.Stats()
+		res.TotalIterations += e.Stats().Iterations
+	}
+	if winner >= 0 {
+		res.Solved = true
+		res.Solution = engines[winner].Solution()
+		res.WinnerIterations = engines[winner].Stats().Iterations
+	}
+	return res
+}
+
+// String gives a compact human-readable summary.
+func (r Result) String() string {
+	if !r.Solved {
+		return fmt.Sprintf("unsolved (total %d iterations over %d walkers, %v)",
+			r.TotalIterations, len(r.Stats), r.WallTime)
+	}
+	return fmt.Sprintf("solved by walker %d after %d iterations (total %d, %v)",
+		r.Winner, r.WinnerIterations, r.TotalIterations, r.WallTime)
+}

@@ -1,0 +1,202 @@
+package walk
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/costas"
+	"repro/internal/csp"
+)
+
+func capFactory(n int) func() csp.Model {
+	return func() csp.Model { return costas.New(n, costas.Options{}) }
+}
+
+func capConfig(n, walkers int, seed uint64) Config {
+	return Config{
+		Walkers:    walkers,
+		Params:     costas.TunedParams(n),
+		MasterSeed: seed,
+	}
+}
+
+func TestParallelSolvesCAP12(t *testing.T) {
+	res := Parallel(context.Background(), capFactory(12), capConfig(12, 4, 1))
+	if !res.Solved {
+		t.Fatalf("parallel run unsolved: %v", res)
+	}
+	if !costas.IsCostas(res.Solution) {
+		t.Fatalf("winner produced non-Costas %v", res.Solution)
+	}
+	if res.Winner < 0 || res.Winner >= 4 {
+		t.Fatalf("winner index %d out of range", res.Winner)
+	}
+	if res.WinnerIterations <= 0 {
+		t.Fatal("winner iterations not recorded")
+	}
+	if len(res.Stats) != 4 {
+		t.Fatalf("stats for %d walkers, want 4", len(res.Stats))
+	}
+}
+
+func TestParallelSingleWalker(t *testing.T) {
+	res := Parallel(context.Background(), capFactory(10), capConfig(10, 1, 2))
+	if !res.Solved || res.Winner != 0 {
+		t.Fatalf("single-walker run failed: %v", res)
+	}
+}
+
+func TestParallelHonoursExhaustion(t *testing.T) {
+	cfg := capConfig(18, 3, 3)
+	cfg.Params.MaxIterations = 200 // nobody solves CAP 18 in 200 iterations
+	res := Parallel(context.Background(), capFactory(18), cfg)
+	if res.Solved {
+		t.Skip("improbably lucky run")
+	}
+	if res.Winner != -1 {
+		t.Fatalf("unsolved run has winner %d", res.Winner)
+	}
+	for i, s := range res.Stats {
+		if s.Iterations > 200 {
+			t.Fatalf("walker %d ran %d iterations over budget", i, s.Iterations)
+		}
+	}
+}
+
+func TestVirtualSolvesAndIsDeterministic(t *testing.T) {
+	run := func() Result {
+		return Virtual(capFactory(13), capConfig(13, 16, 99), 0)
+	}
+	r1 := run()
+	r2 := run()
+	if !r1.Solved || !r2.Solved {
+		t.Fatalf("virtual runs unsolved: %v / %v", r1, r2)
+	}
+	if r1.Winner != r2.Winner || r1.WinnerIterations != r2.WinnerIterations {
+		t.Fatalf("virtual mode not deterministic: (%d,%d) vs (%d,%d)",
+			r1.Winner, r1.WinnerIterations, r2.Winner, r2.WinnerIterations)
+	}
+	if !costas.IsCostas(r1.Solution) {
+		t.Fatalf("invalid solution %v", r1.Solution)
+	}
+}
+
+func TestVirtualWinnerIsMinimal(t *testing.T) {
+	res := Virtual(capFactory(12), capConfig(12, 32, 5), 0)
+	if !res.Solved {
+		t.Fatal("unsolved")
+	}
+	// Winner's iterations are within one quantum of the virtual makespan:
+	// every surviving walker advanced at least ⌈I*/c⌉−1 full quanta.
+	c := int64(64)
+	round := (res.WinnerIterations + c - 1) / c
+	for i, s := range res.Stats {
+		if s.Iterations < (round-1)*c && i != res.Winner {
+			t.Fatalf("walker %d stopped at %d iterations before the winning round %d",
+				i, s.Iterations, round)
+		}
+	}
+}
+
+func TestVirtualMoreWalkersFasterVirtualTime(t *testing.T) {
+	// The multi-walk premise (§V): the minimum of K runtimes shrinks with
+	// K. Compare K=1 vs K=64 over several master seeds; the K=64 winner
+	// should be faster on average (loose 2× requirement to keep the test
+	// robust to noise).
+	var sum1, sum64 int64
+	for seed := uint64(0); seed < 5; seed++ {
+		r1 := Virtual(capFactory(13), capConfig(13, 1, seed), 0)
+		r64 := Virtual(capFactory(13), capConfig(13, 64, seed), 0)
+		if !r1.Solved || !r64.Solved {
+			t.Fatal("unsolved virtual run")
+		}
+		sum1 += r1.WinnerIterations
+		sum64 += r64.WinnerIterations
+	}
+	if sum64*2 >= sum1 {
+		t.Fatalf("64 virtual cores not faster than 1: sum64=%d sum1=%d", sum64, sum1)
+	}
+}
+
+func TestVirtualBudgetStops(t *testing.T) {
+	cfg := capConfig(18, 4, 7)
+	res := Virtual(capFactory(18), cfg, 128) // two rounds of virtual time
+	if res.Solved {
+		t.Skip("improbably lucky run")
+	}
+	for i, s := range res.Stats {
+		if s.Iterations > 192 {
+			t.Fatalf("walker %d exceeded virtual budget: %d", i, s.Iterations)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Walkers != 1 || c.CheckEvery != 64 || c.MaxParallelism < 1 {
+		t.Fatalf("bad defaults: %+v", c)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := Virtual(capFactory(10), capConfig(10, 2, 1), 0)
+	if res.String() == "" {
+		t.Fatal("empty result string")
+	}
+	unsolved := Result{Winner: -1, Stats: make([]adaptive.Stats, 2)}
+	if unsolved.String() == "" {
+		t.Fatal("empty unsolved string")
+	}
+}
+
+func TestParallelContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // pre-cancelled: walkers must exit promptly without solving big instance
+	cfg := capConfig(20, 2, 1)
+	cfg.Params.MaxIterations = 1 << 40
+	res := Parallel(ctx, capFactory(20), cfg)
+	if res.Solved {
+		t.Skip("improbably lucky run")
+	}
+	// The probe period bounds the overshoot per walker.
+	for i, s := range res.Stats {
+		if s.Iterations > 10*64 {
+			t.Fatalf("walker %d ignored cancellation: %d iterations", i, s.Iterations)
+		}
+	}
+}
+
+func TestParallelShardingMoreWalkersThanWorkers(t *testing.T) {
+	// 8 walkers on 2 workers: the sharded round-robin must still find a
+	// solution and keep all walkers' stats.
+	cfg := capConfig(12, 8, 21)
+	cfg.MaxParallelism = 2
+	res := Parallel(context.Background(), capFactory(12), cfg)
+	if !res.Solved || len(res.Stats) != 8 {
+		t.Fatalf("sharded run failed: %v", res)
+	}
+	if !costas.IsCostas(res.Solution) {
+		t.Fatal("invalid solution from sharded run")
+	}
+}
+
+func TestVirtualWorkerPoolSharding(t *testing.T) {
+	cfg := capConfig(12, 16, 22)
+	cfg.MaxParallelism = 3
+	res := Virtual(capFactory(12), cfg, 0)
+	if !res.Solved || len(res.Stats) != 16 {
+		t.Fatalf("sharded virtual run failed: %v", res)
+	}
+}
+
+func TestTotalIterationsAggregates(t *testing.T) {
+	res := Virtual(capFactory(12), capConfig(12, 8, 3), 0)
+	var sum int64
+	for _, s := range res.Stats {
+		sum += s.Iterations
+	}
+	if sum != res.TotalIterations {
+		t.Fatalf("TotalIterations %d != Σ stats %d", res.TotalIterations, sum)
+	}
+}
