@@ -107,7 +107,7 @@ func benchVirtual(b *testing.B, n, cores int) {
 	for i := 0; i < b.N; i++ {
 		res := walk.Virtual(factory, walk.Config{
 			Walkers:    cores,
-			Params:     costas.TunedParams(n),
+			Factory:    adaptive.Factory(costas.TunedParams(n)),
 			MasterSeed: uint64(i)*7919 + 1,
 		}, 0)
 		if !res.Solved {
@@ -142,7 +142,7 @@ func BenchmarkTableVGrid5000(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := walk.Parallel(context.Background(), factory, walk.Config{
 			Walkers:    4,
-			Params:     costas.TunedParams(benchParN),
+			Factory:    adaptive.Factory(costas.TunedParams(benchParN)),
 			MasterSeed: uint64(i)*104729 + 1,
 		})
 		if !res.Solved {
@@ -199,7 +199,7 @@ func BenchmarkExtensionCooperative(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			res := walk.Virtual(factory, walk.Config{
 				Walkers:    16,
-				Params:     costas.TunedParams(benchParN),
+				Factory:    adaptive.Factory(costas.TunedParams(benchParN)),
 				MasterSeed: uint64(i)*6151 + 1,
 			}, 0)
 			if !res.Solved {
@@ -208,10 +208,12 @@ func BenchmarkExtensionCooperative(b *testing.B) {
 		}
 	})
 	b.Run("cooperative", func(b *testing.B) {
+		coopParams := costas.TunedParams(benchParN)
+		coopParams.RestartLimit = -1 // the cooperative scheduler owns restarts
 		for i := 0; i < b.N; i++ {
 			res := walk.Cooperative(factory, walk.CoopConfig{Config: walk.Config{
 				Walkers:    16,
-				Params:     costas.TunedParams(benchParN),
+				Factory:    adaptive.Factory(coopParams),
 				MasterSeed: uint64(i)*6151 + 1,
 			}}, 0)
 			if !res.Solved {

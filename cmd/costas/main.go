@@ -1,14 +1,17 @@
-// Command costas solves one Costas Array Problem instance with the
-// Adaptive Search solver, sequentially or by independent multi-walk.
+// Command costas solves one Costas Array Problem instance with any of the
+// library's search methods, sequentially or by independent multi-walk.
 //
 // Usage:
 //
-//	costas -n 18                          # sequential solve
+//	costas -n 18                          # sequential Adaptive Search solve
 //	costas -n 20 -walkers 8               # 8 concurrent walkers
 //	costas -n 20 -walkers 256 -virtual    # simulate a 256-core cluster
+//	costas -n 14 -method dialectic        # a baseline method instead of AS
+//	costas -n 14 -method tabu -walkers 4  # baselines run parallel too
+//	costas -n 16 -method portfolio -walkers 8   # mix all methods in one run
 //	costas -n 17 -grid -triangle          # pretty-print the solution
 //	costas -n 16 -construct               # algebraic construction instead of search
-//	costas -n 14 -solver dialectic        # run a baseline solver instead of AS
+//	costas -n 12 -method cp               # complete CP search (no multi-walk)
 //
 // The exit status is 0 on success and 1 if the instance was not solved
 // within the given budget.
@@ -19,20 +22,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/costas"
 	"repro/internal/cp"
-	"repro/internal/dialectic"
-	"repro/internal/hillclimb"
-	"repro/internal/tabu"
+	"repro/internal/csp"
 )
 
 func main() {
 	var (
 		n         = flag.Int("n", 18, "Costas array order")
+		method    = flag.String("method", "adaptive", "search method: "+strings.Join(core.Methods(), ", ")+", or cp (complete search)")
+		solver    = flag.String("solver", "", "deprecated alias of -method")
+		portfolio = flag.String("portfolio", "", "comma-separated method mix for -method portfolio (default all four)")
 		walkers   = flag.Int("walkers", 1, "number of independent walkers")
 		virtual   = flag.Bool("virtual", false, "lockstep virtual cluster instead of goroutines")
 		seed      = flag.Uint64("seed", 1, "master seed (reproducible runs)")
@@ -42,13 +47,34 @@ func main() {
 		quiet     = flag.Bool("q", false, "print only the array")
 		construct = flag.Bool("construct", false, "use a Welch/Golomb construction instead of search")
 		platform  = flag.String("platform", "", "also report virtual seconds on a paper platform (ha8000, suno, helios, jugene, t7500)")
-		solver    = flag.String("solver", "as", "solver: as (adaptive search), dialectic, tabu, hillclimb, cp")
 	)
 	flag.Parse()
 
-	if *solver != "as" {
-		runBaseline(*solver, *n, *seed, *maxIter, *grid, *triangle, *quiet)
-		return
+	methodSet, solverSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "method":
+			methodSet = true
+		case "solver":
+			solverSet = true
+		}
+	})
+	if solverSet {
+		if methodSet {
+			fmt.Fprintf(os.Stderr, "-solver is a deprecated alias of -method; pass only one\n")
+			os.Exit(2)
+		}
+		if *solver == "as" {
+			*solver = "adaptive"
+		}
+		*method = *solver
+	}
+	if *portfolio != "" && *method != "portfolio" {
+		if methodSet || solverSet {
+			fmt.Fprintf(os.Stderr, "-portfolio conflicts with -method %s (use -method portfolio)\n", *method)
+			os.Exit(2)
+		}
+		*method = "portfolio" // -portfolio alone implies portfolio mode
 	}
 
 	if *construct {
@@ -61,13 +87,23 @@ func main() {
 		return
 	}
 
-	res, err := core.Solve(context.Background(), core.Options{
+	if *method == "cp" {
+		runCP(*n, *maxIter, *grid, *triangle, *quiet)
+		return
+	}
+
+	opts := core.Options{
 		N:             *n,
+		Method:        *method,
 		Walkers:       *walkers,
 		Virtual:       *virtual,
 		Seed:          *seed,
 		MaxIterations: *maxIter,
-	})
+	}
+	if *portfolio != "" {
+		opts.Portfolio = strings.Split(*portfolio, ",")
+	}
+	res, err := core.Solve(context.Background(), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -79,11 +115,9 @@ func main() {
 	}
 	emit(res.Array, *grid, *triangle, *quiet)
 	if !*quiet {
-		fmt.Printf("walkers=%d winner=%d iterations=%d total_iterations=%d wall=%v\n",
-			len(res.Stats), res.Winner, res.Iterations, res.TotalIterations, res.WallTime)
-		s := res.Stats[res.Winner]
-		fmt.Printf("winner stats: local_minima=%d resets=%d restarts=%d swaps=%d plateau=%d uphill=%d\n",
-			s.LocalMinima, s.Resets, s.Restarts, s.Swaps, s.PlateauMoves, s.UphillMoves)
+		fmt.Printf("method=%s walkers=%d winner=%d iterations=%d total_iterations=%d wall=%v\n",
+			*method, len(res.Stats), res.Winner, res.Iterations, res.TotalIterations, res.WallTime)
+		fmt.Printf("winner stats: %s\n", statsLine(res.Stats[res.Winner]))
 		if *platform != "" {
 			p, ok := cluster.Platforms[*platform]
 			if !ok {
@@ -95,63 +129,53 @@ func main() {
 	}
 }
 
-// runBaseline solves with one of the comparison solvers (Table II, §IV-C)
-// and reports its native work counters.
-func runBaseline(name string, n int, seed uint64, maxIter int64, grid, triangle, quiet bool) {
-	var (
-		arr   []int
-		ok    bool
-		extra string
-	)
-	start := time.Now()
-	switch name {
-	case "dialectic":
-		s := dialectic.New(costas.New(n, costas.Options{}), dialectic.Params{MaxEvaluations: maxIter}, seed)
-		ok = s.Solve()
-		arr = s.Solution()
-		st := s.Stats()
-		extra = fmt.Sprintf("evaluations=%d rounds=%d descents=%d restarts=%d",
-			st.Evaluations, st.Rounds, st.Descents, st.Restarts)
-	case "tabu":
-		s := tabu.New(costas.New(n, costas.Options{}), tabu.Params{MaxIterations: maxIter}, seed)
-		ok = s.Solve()
-		arr = s.Solution()
-		st := s.Stats()
-		extra = fmt.Sprintf("iterations=%d evaluations=%d aspirations=%d restarts=%d",
-			st.Iterations, st.Evaluations, st.Aspirations, st.Restarts)
-	case "hillclimb":
-		s := hillclimb.New(costas.New(n, costas.Options{}), hillclimb.Params{MaxIterations: maxIter}, seed)
-		ok = s.Solve()
-		arr = s.Solution()
-		st := s.Stats()
-		extra = fmt.Sprintf("iterations=%d moves=%d restarts=%d", st.Iterations, st.Moves, st.Restarts)
-	case "cp":
-		s, err := cp.New(n)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+// statsLine renders the counters a method actually filled (each method
+// uses a different subset of the unified csp.Stats block).
+func statsLine(s csp.Stats) string {
+	fields := []struct {
+		name  string
+		value int64
+	}{
+		{"local_minima", s.LocalMinima}, {"resets", s.Resets}, {"restarts", s.Restarts},
+		{"swaps", s.Swaps}, {"plateau", s.PlateauMoves}, {"uphill", s.UphillMoves},
+		{"moves", s.Moves}, {"aspirations", s.Aspirations}, {"rounds", s.Rounds},
+		{"descents", s.Descents}, {"evaluations", s.Evaluations},
+	}
+	parts := []string{}
+	for _, f := range fields {
+		if f.value != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", f.name, f.value))
 		}
-		s.SetNodeBudget(maxIter)
-		sol, err := s.FirstSolution()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		ok = sol != nil
-		arr = sol
-		st := s.Stats()
-		extra = fmt.Sprintf("nodes=%d backtracks=%d", st.Nodes, st.Backtracks)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown solver %q (want as, dialectic, tabu, hillclimb, cp)\n", name)
+	}
+	if len(parts) == 0 {
+		return "(no events)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// runCP solves with the complete CP solver (§IV-C) — deterministic tree
+// search, so it sits outside the multi-walk machinery.
+func runCP(n int, maxIter int64, grid, triangle, quiet bool) {
+	s, err := cp.New(n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if !ok || !costas.IsCostas(arr) {
-		fmt.Fprintf(os.Stderr, "%s: unsolved within budget\n", name)
+	s.SetNodeBudget(maxIter)
+	start := time.Now()
+	sol, err := s.FirstSolution()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	emit(arr, grid, triangle, quiet)
+	if sol == nil || !costas.IsCostas(sol) {
+		fmt.Fprintln(os.Stderr, "cp: unsolved within budget")
+		os.Exit(1)
+	}
+	emit(sol, grid, triangle, quiet)
 	if !quiet {
-		fmt.Printf("solver=%s wall=%v %s\n", name, time.Since(start), extra)
+		st := s.Stats()
+		fmt.Printf("method=cp wall=%v nodes=%d backtracks=%d\n", time.Since(start), st.Nodes, st.Backtracks)
 	}
 }
 

@@ -73,10 +73,11 @@ func runAblation(sc Scale) {
 			secs := stats.NewSample()
 			for r := 0; r < sc.AblationRuns; r++ {
 				total++
-				m := costas.New(n, cfg.opts)
 				p := cfg.params(n)
 				p.MaxIterations = iterCap
-				e := adaptive.NewEngine(m, p, uint64(n)*7919+uint64(r)*104729+1)
+				// Engines are driven through the generic csp.Engine
+				// interface, like every other experiment harness.
+				e := adaptive.Factory(p)(costas.New(n, cfg.opts), uint64(n)*7919+uint64(r)*104729+1)
 				startIters := e.Stats().Iterations
 				start := nowSeconds()
 				if e.Solve() {

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 
+	"repro/internal/adaptive"
 	"repro/internal/costas"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -30,12 +31,16 @@ func runExtension(sc Scale) {
 		for r := 0; r < runs; r++ {
 			seed := uint64(n)*500_009 + uint64(r)*37 + 1
 			ri := walk.Virtual(modelFactory(n), walk.Config{
-				Walkers: walkers, Params: costas.TunedParams(n), MasterSeed: seed}, 0)
+				Walkers: walkers, Factory: tunedFactory(n), MasterSeed: seed}, 0)
 			if ri.Solved {
 				indep.Add(float64(ri.WinnerIterations))
 			}
+			// The cooperative scheduler owns the restart policy, so its
+			// engines run with internal restarts disabled.
+			coopParams := costas.TunedParams(n)
+			coopParams.RestartLimit = -1
 			rc := walk.Cooperative(modelFactory(n), walk.CoopConfig{Config: walk.Config{
-				Walkers: walkers, Params: costas.TunedParams(n), MasterSeed: seed}}, 0)
+				Walkers: walkers, Factory: adaptive.Factory(coopParams), MasterSeed: seed}}, 0)
 			if rc.Solved {
 				coop.Add(float64(rc.WinnerIterations))
 			}

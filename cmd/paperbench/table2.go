@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/adaptive"
 	"repro/internal/costas"
+	"repro/internal/csp"
 	"repro/internal/dialectic"
 	"repro/internal/report"
 )
@@ -47,30 +47,26 @@ func runTable2(sc Scale) {
 	note("shape check: AS wins at every size and the advantage grows with n.")
 }
 
-func measureDS(n, runs int) float64 {
+// measureSolver averages the sequential wall time of one engine factory
+// over `runs` seeded solves — both Table II columns go through the same
+// generic csp.Engine path.
+func measureSolver(label string, factory csp.Factory, n, runs int, seedMul, seedAdd uint64) float64 {
 	total := 0.0
 	for r := 0; r < runs; r++ {
-		m := costas.New(n, costas.Options{})
-		s := dialectic.New(m, dialectic.Params{}, uint64(n*runs+r)*31+7)
+		e := factory(costas.New(n, costas.Options{}), uint64(n*runs+r)*seedMul+seedAdd)
 		start := time.Now()
-		if !s.Solve() {
-			note("warning: DS did not solve n=%d (run %d)", n, r)
+		if !e.Solve() {
+			note("warning: %s did not solve n=%d (run %d)", label, n, r)
 		}
 		total += time.Since(start).Seconds()
 	}
 	return total / float64(runs)
 }
 
+func measureDS(n, runs int) float64 {
+	return measureSolver("DS", dialectic.Factory(dialectic.Params{}), n, runs, 31, 7)
+}
+
 func measureAS(n, runs int) float64 {
-	total := 0.0
-	for r := 0; r < runs; r++ {
-		m := costas.New(n, costas.Options{})
-		e := adaptive.NewEngine(m, costas.TunedParams(n), uint64(n*runs+r)*17+3)
-		start := time.Now()
-		if !e.Solve() {
-			note("warning: AS did not solve n=%d (run %d)", n, r)
-		}
-		total += time.Since(start).Seconds()
-	}
-	return total / float64(runs)
+	return measureSolver("AS", tunedFactory(n), n, runs, 17, 3)
 }

@@ -26,15 +26,22 @@ func modelFactory(n int) func() csp.Model {
 	return func() csp.Model { return costas.New(n, costas.Options{}) }
 }
 
+// tunedFactory returns the engine factory of the paper's method — Adaptive
+// Search with the tuned CAP parameter set — the default every experiment
+// drives through the generic csp.Engine interface.
+func tunedFactory(n int) csp.Factory {
+	return adaptive.Factory(costas.TunedParams(n))
+}
+
 // sequentialRuns executes `runs` independent sequential solves of CAP n
 // with distinct seeds derived from seedBase.
 func sequentialRuns(n, runs int, seedBase uint64, maxIter int64) []seqRun {
 	out := make([]seqRun, 0, runs)
 	params := costas.TunedParams(n)
 	params.MaxIterations = maxIter
+	factory := adaptive.Factory(params)
 	for r := 0; r < runs; r++ {
-		m := costas.New(n, costas.Options{})
-		e := adaptive.NewEngine(m, params, seedBase+uint64(r)*0x9E3779B9+1)
+		e := factory(costas.New(n, costas.Options{}), seedBase+uint64(r)*0x9E3779B9+1)
 		start := time.Now()
 		solved := e.Solve()
 		out = append(out, seqRun{
@@ -55,7 +62,7 @@ func virtualRuns(n, cores, runs int, seedBase uint64) *stats.Sample {
 	for r := 0; r < runs; r++ {
 		cfg := walk.Config{
 			Walkers:    cores,
-			Params:     costas.TunedParams(n),
+			Factory:    tunedFactory(n),
 			MasterSeed: seedBase + uint64(r)*0xA5A5A5A5 + 1,
 		}
 		res := walk.Virtual(modelFactory(n), cfg, 0)

@@ -12,10 +12,18 @@
 // time-to-target plots with shifted-exponential fits) needed to regenerate
 // every table and figure of the paper's evaluation.
 //
+// All four local-search methods implement one engine interface
+// (csp.Engine) with resumable quantum-stepped execution, so the multi-walk
+// runner (internal/walk) and the facade (internal/core) are
+// method-agnostic: core.Options.Method selects adaptive, tabu, hillclimb,
+// dialectic — or "portfolio" to mix methods across the walkers of one run
+// — and core.SolveModel drives any csp.Model (N-Queens, All-Interval,
+// Magic Square, or your own) through the same machinery.
+//
 // Entry points:
 //
 //   - internal/core — the solving facade (see examples/quickstart);
-//   - cmd/costas — CLI solver;
+//   - cmd/costas — CLI solver (-method selects the search method);
 //   - cmd/enumerate — exhaustive enumeration with published-count oracles;
 //   - cmd/paperbench — regenerates Tables I–V and Figures 2–4;
 //   - bench_test.go (this directory) — testing.B benchmarks, one per

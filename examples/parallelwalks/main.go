@@ -5,7 +5,10 @@
 //     walker per core, stop everyone when the first solution appears);
 //  2. the virtual lockstep cluster, scaling the same algorithm to core
 //     counts this machine does not have (32 → 256), and mapping virtual
-//     makespans to seconds on the paper's HA8000 — a miniature Table III.
+//     makespans to seconds on the paper's HA8000 — a miniature Table III;
+//  3. portfolio mode: the multi-walk is method-agnostic, so one run can
+//     mix Adaptive Search with the baseline methods across walkers and
+//     the first method to solve wins.
 //
 // Run with:
 //
@@ -61,4 +64,21 @@ func main() {
 			fmt.Sprintf("%.4fs", mean), stats.Speedup(base, mean), cores)
 	}
 	fmt.Println("\nexecution times halve (≈) as the core count doubles — Figure 2's shape.")
+
+	// --- Mode 3: portfolio multi-walk — mix methods across walkers
+	// (walker i runs methods[i % len(methods)]).
+	methods := []string{"adaptive", "tabu", "hillclimb"}
+	pres, err := core.Solve(context.Background(), core.Options{
+		N:         n,
+		Method:    "portfolio",
+		Portfolio: methods,
+		Walkers:   6,
+		Seed:      7,
+	})
+	if err != nil || !pres.Solved {
+		log.Fatalf("portfolio run failed: %v", err)
+	}
+	fmt.Printf("\nportfolio multi-walk (%v over %d walkers):\n", methods, len(pres.Stats))
+	fmt.Printf("  walker %d (%s) solved CAP %d after %d iterations (%v wall)\n",
+		pres.Winner, methods[pres.Winner%len(methods)], n, pres.Iterations, pres.WallTime)
 }

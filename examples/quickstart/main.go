@@ -45,4 +45,15 @@ func main() {
 	fmt.Printf("\nsolved in %d iterations (%d local minima, %d resets, %v wall time)\n",
 		res.Iterations, s.LocalMinima, s.Resets, res.WallTime)
 	fmt.Printf("verified: %v\n", core.Verify(res.Array))
+
+	// The same facade drives every search method in the library: pick a
+	// baseline with Options.Method ("tabu", "hillclimb", "dialectic"), or
+	// "portfolio" to mix all of them across walkers in one run.
+	tres, err := core.Solve(context.Background(),
+		core.Options{N: n, Method: "tabu", Seed: 2026})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsame instance with Method \"tabu\": solved=%v in %d neighborhood scans (%v)\n",
+		tres.Solved, tres.Iterations, tres.WallTime)
 }

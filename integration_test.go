@@ -9,15 +9,13 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/adaptive"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/costas"
 	"repro/internal/cp"
 	"repro/internal/csp"
-	"repro/internal/dialectic"
-	"repro/internal/hillclimb"
 	"repro/internal/radar"
-	"repro/internal/tabu"
 	"repro/internal/ttt"
 	"repro/internal/walk"
 )
@@ -45,35 +43,20 @@ func TestSolverOutputsAreEnumerable(t *testing.T) {
 	}
 }
 
-// TestAllSolversAgreeOnVerifier: four local-search solvers and the CP
-// solver all produce arrays the single verifier accepts.
+// TestAllSolversAgreeOnVerifier: all four local-search methods — driven
+// through the one core facade — and the CP solver all produce arrays the
+// single verifier accepts.
 func TestAllSolversAgreeOnVerifier(t *testing.T) {
 	const n = 11
 	outputs := [][]int{}
 
-	res, err := core.SolveSequential(n, 5)
-	if err != nil || !res.Solved {
-		t.Fatal("AS failed")
+	for _, method := range []string{"adaptive", "dialectic", "tabu", "hillclimb"} {
+		res, err := core.Solve(context.Background(), core.Options{N: n, Method: method, Seed: 5})
+		if err != nil || !res.Solved {
+			t.Fatalf("%s failed: %v", method, err)
+		}
+		outputs = append(outputs, res.Array)
 	}
-	outputs = append(outputs, res.Array)
-
-	ds := dialectic.New(costas.New(n, costas.Options{}), dialectic.Params{}, 5)
-	if !ds.Solve() {
-		t.Fatal("DS failed")
-	}
-	outputs = append(outputs, ds.Solution())
-
-	tb := tabu.New(costas.New(n, costas.Options{}), tabu.Params{}, 5)
-	if !tb.Solve() {
-		t.Fatal("tabu failed")
-	}
-	outputs = append(outputs, tb.Solution())
-
-	hc := hillclimb.New(costas.New(n, costas.Options{}), hillclimb.Params{}, 5)
-	if !hc.Solve() {
-		t.Fatal("hill climber failed")
-	}
-	outputs = append(outputs, hc.Solution())
 
 	cps, _ := cp.New(n)
 	sol, err := cps.FirstSolution()
@@ -130,7 +113,7 @@ func TestVirtualSpeedupPipeline(t *testing.T) {
 		var xs []float64
 		for r := 0; r < 25; r++ {
 			res := walk.Virtual(func() csp.Model { return costas.New(n, costas.Options{}) },
-				walk.Config{Walkers: cores, Params: costas.TunedParams(n), MasterSeed: uint64(cores*100 + r)},
+				walk.Config{Walkers: cores, Factory: adaptive.Factory(costas.TunedParams(n)), MasterSeed: uint64(cores*100 + r)},
 				0)
 			if !res.Solved {
 				t.Fatal("unsolved")
@@ -151,7 +134,7 @@ func TestVirtualSpeedupPipeline(t *testing.T) {
 func TestCoreFacadeMatchesWalkDirectly(t *testing.T) {
 	const n, walkers, seed = 12, 16, 77
 	direct := walk.Virtual(func() csp.Model { return costas.New(n, costas.Options{}) },
-		walk.Config{Walkers: walkers, Params: costas.TunedParams(n), MasterSeed: seed}, 0)
+		walk.Config{Walkers: walkers, Factory: adaptive.Factory(costas.TunedParams(n)), MasterSeed: seed}, 0)
 	viaCore, err := core.Solve(context.Background(),
 		core.Options{N: n, Walkers: walkers, Virtual: true, Seed: seed})
 	if err != nil {
@@ -169,8 +152,10 @@ func TestCooperativeExtensionSolvesHarderInstance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipped in -short mode")
 	}
+	coopParams := costas.TunedParams(15)
+	coopParams.RestartLimit = -1 // the cooperative scheduler owns restarts
 	res := walk.Cooperative(func() csp.Model { return costas.New(15, costas.Options{}) },
-		walk.CoopConfig{Config: walk.Config{Walkers: 8, Params: costas.TunedParams(15), MasterSeed: 2}}, 0)
+		walk.CoopConfig{Config: walk.Config{Walkers: 8, Factory: adaptive.Factory(coopParams), MasterSeed: 2}}, 0)
 	if !res.Solved || !costas.IsCostas(res.Solution) {
 		t.Fatalf("cooperative run failed: %+v", res.Result)
 	}

@@ -94,17 +94,10 @@ func DefaultParams() Params {
 	}
 }
 
-// Stats counts the events the paper's tables report (iterations, local
-// minima) plus the auxiliary ones the ablations discuss.
-type Stats struct {
-	Iterations   int64 // repair iterations executed
-	LocalMinima  int64 // strict local minima encountered (Table I column)
-	Resets       int64 // reset procedures performed
-	Restarts     int64 // full random restarts
-	Swaps        int64 // committed improving moves
-	PlateauMoves int64 // committed sideways moves
-	UphillMoves  int64 // committed worsening moves (ProbSelectLocMin path)
-}
+// Stats is the unified engine counter block (csp.Stats). Adaptive Search
+// fills Iterations (repair iterations), LocalMinima (the Table I column),
+// Resets, Restarts, Swaps, PlateauMoves and UphillMoves.
+type Stats = csp.Stats
 
 // Engine is a single Adaptive Search walker over one model instance.
 // It is not safe for concurrent use; parallel search runs one Engine per
@@ -130,6 +123,15 @@ type Engine struct {
 	// debugging tools and the verbose CLI mode. The hot path pays only a
 	// nil check when unset.
 	Trace func(iter int64, cost, culprit, bestCost int, action string)
+}
+
+// Factory wraps params into a csp.Factory so the multi-walk runner and the
+// core facade can create Adaptive Search walkers without importing this
+// package's concrete types.
+func Factory(params Params) csp.Factory {
+	return func(model csp.Model, seed uint64) csp.Engine {
+		return NewEngine(model, params, seed)
+	}
 }
 
 // NewEngine creates a walker for model with an initial random configuration
@@ -411,6 +413,8 @@ func (e *Engine) clearTabu() {
 	}
 	e.nTabu = 0
 }
+
+var _ csp.Restartable = (*Engine)(nil)
 
 // String summarises the walker state for logs.
 func (e *Engine) String() string {

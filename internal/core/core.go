@@ -1,9 +1,11 @@
 // Package core is the public face of the library: one-call solving of
-// Costas Array Problem instances with the paper's Adaptive Search method,
-// sequentially or by independent parallel multi-walk.
+// Costas Array Problem instances — or any permutation CSP implementing
+// csp.Model — with any of the repository's search methods, sequentially or
+// by independent parallel multi-walk.
 //
-// It wires together the substrates — the CAP model (internal/costas), the
-// Adaptive Search engine (internal/adaptive) and the multi-walk runner
+// It wires together the substrates — the CSP models (internal/costas,
+// internal/models/*), the engines (internal/adaptive, internal/tabu,
+// internal/hillclimb, internal/dialectic) and the multi-walk runner
 // (internal/walk) — behind a small options/result API that the examples,
 // CLIs and benchmark harnesses all share.
 //
@@ -13,14 +15,23 @@
 //	if err != nil { ... }
 //	fmt.Println(res.Array)   // a Costas array of order 18
 //
-// Parallel (all cores):
+// Parallel (all cores), with a baseline method:
 //
-//	res, _ := core.Solve(ctx, core.Options{N: 20, Walkers: runtime.GOMAXPROCS(0)})
+//	res, _ := core.Solve(ctx, core.Options{N: 20, Method: "tabu", Walkers: runtime.GOMAXPROCS(0)})
+//
+// Portfolio mode — one run mixing all four methods across walkers:
+//
+//	res, _ := core.Solve(ctx, core.Options{N: 18, Method: "portfolio", Walkers: 8})
 //
 // Simulated cluster (the paper's 256-core HA8000 runs, on a laptop):
 //
 //	res, _ := core.Solve(ctx, core.Options{N: 20, Walkers: 256, Virtual: true})
 //	seconds := cluster.HA8000.Seconds(res.Iterations)
+//
+// Any csp.Model solves through the same machinery:
+//
+//	res, _ := core.SolveModel(ctx, func() csp.Model { return nqueens.New(100) },
+//	    core.Options{Method: "adaptive", Walkers: 4})
 package core
 
 import (
@@ -31,14 +42,42 @@ import (
 	"repro/internal/adaptive"
 	"repro/internal/costas"
 	"repro/internal/csp"
+	"repro/internal/dialectic"
+	"repro/internal/hillclimb"
+	"repro/internal/tabu"
 	"repro/internal/walk"
 )
 
-// Options selects the instance and the execution mode. The zero value of
-// every field except N has a sensible default.
+// Method names accepted by Options.Method (plus their aliases).
+const (
+	MethodAdaptive  = "adaptive"
+	MethodTabu      = "tabu"
+	MethodHillclimb = "hillclimb"
+	MethodDialectic = "dialectic"
+	MethodPortfolio = "portfolio"
+)
+
+// Methods lists the canonical method names, portfolio last.
+func Methods() []string {
+	return []string{MethodAdaptive, MethodTabu, MethodHillclimb, MethodDialectic, MethodPortfolio}
+}
+
+// Options selects the instance, the search method and the execution mode.
+// The zero value of every field except N has a sensible default.
 type Options struct {
-	// N is the Costas array order to solve (required, ≥ 1).
+	// N is the Costas array order to solve (required for Solve, ≥ 1;
+	// ignored by SolveModel, which takes the size from the model).
 	N int
+
+	// Method selects the search method: "adaptive" (default; alias "as"),
+	// "tabu", "hillclimb" (alias "hc"), "dialectic" (alias "ds"), or
+	// "portfolio" to mix methods across walkers (see Portfolio).
+	Method string
+
+	// Portfolio lists the methods cycled across walkers when Method is
+	// "portfolio" (walker i runs Portfolio[i % len]). Empty means all four
+	// methods in the canonical order.
+	Portfolio []string
 
 	// Walkers is the number of independent walkers; 0 or 1 solves
 	// sequentially with a single engine.
@@ -55,25 +94,33 @@ type Options struct {
 	// goal of the whole repository.
 	Seed uint64
 
-	// Params overrides the engine parameters; nil uses the tuned CAP set
-	// (costas.TunedParams).
+	// Params overrides the Adaptive Search engine parameters (used by the
+	// "adaptive" method and adaptive portfolio walkers); nil uses the
+	// tuned CAP set (costas.TunedParams) in Solve and adaptive defaults
+	// in SolveModel.
 	Params *adaptive.Params
 
 	// Model overrides the CAP model options (error function, Chang bound,
-	// reset procedure); the zero value is the tuned model.
+	// reset procedure); the zero value is the tuned model. Solve only.
 	Model costas.Options
 
 	// CheckEvery is the termination-probe period / lockstep quantum c;
 	// 0 uses the default (64).
 	CheckEvery int
 
-	// MaxIterations bounds each walker; 0 means run until solved.
+	// MaxIterations bounds each walker's iteration count. Precedence: a
+	// non-zero MaxIterations overrides any budget carried by Params; when
+	// it is 0 a caller-supplied Params keeps its own MaxIterations
+	// (0 in both places means run until solved). For the dialectic method
+	// the budget counts cost evaluations — its natural work unit — not
+	// rounds.
 	MaxIterations int64
 }
 
 // Result reports a solve outcome.
 type Result struct {
-	// Solved tells whether Array holds a verified Costas array.
+	// Solved tells whether Array holds a zero-cost configuration (for
+	// Solve, a verified Costas array).
 	Solved bool
 	// Array is the solution as a 0-based permutation (column → row).
 	Array []int
@@ -88,45 +135,144 @@ type Result struct {
 	// WallTime is the real elapsed time.
 	WallTime time.Duration
 	// Stats holds per-walker engine counters.
-	Stats []adaptive.Stats
+	Stats []csp.Stats
 }
 
-// Solve runs the solver described by opts. It returns an error for
-// invalid options; an unsolved Result (within iteration budgets) is not an
-// error.
-func Solve(ctx context.Context, opts Options) (Result, error) {
-	if opts.N < 1 {
-		return Result{}, fmt.Errorf("core: invalid order N=%d", opts.N)
+// normalizeMethod maps a method name or alias to its canonical name.
+func normalizeMethod(method string) (string, error) {
+	switch method {
+	case "", "as", MethodAdaptive:
+		return MethodAdaptive, nil
+	case MethodTabu:
+		return MethodTabu, nil
+	case "hc", MethodHillclimb:
+		return MethodHillclimb, nil
+	case "ds", MethodDialectic:
+		return MethodDialectic, nil
+	case MethodPortfolio:
+		return MethodPortfolio, nil
+	default:
+		return "", fmt.Errorf("core: unknown method %q (want adaptive, tabu, hillclimb, dialectic or portfolio)", method)
 	}
+}
+
+// methodFactory builds the engine factory for one canonical method name.
+// adaptiveParams carries the resolved Adaptive Search parameters; the
+// baseline methods use their own defaults with opts.MaxIterations applied.
+func methodFactory(method string, adaptiveParams adaptive.Params, opts Options) (csp.Factory, error) {
+	switch method {
+	case MethodAdaptive:
+		return adaptive.Factory(adaptiveParams), nil
+	case MethodTabu:
+		return tabu.Factory(tabu.Params{MaxIterations: opts.MaxIterations}), nil
+	case MethodHillclimb:
+		return hillclimb.Factory(hillclimb.Params{MaxIterations: opts.MaxIterations}), nil
+	case MethodDialectic:
+		// Dialectic's budget counts cost evaluations, its natural work
+		// unit (Table II) — one dialectic round spans hundreds of them,
+		// so a round-denominated bound would be orders weaker.
+		return dialectic.Factory(dialectic.Params{MaxEvaluations: opts.MaxIterations}), nil
+	default:
+		return nil, fmt.Errorf("core: method %q has no engine factory", method)
+	}
+}
+
+// walkConfig resolves opts into the multi-walk configuration: canonical
+// method, engine factory (or portfolio slice) and run parameters.
+// adaptiveDefaults supplies the Adaptive Search parameter set used when
+// opts.Params is nil (CAP-tuned in Solve, engine defaults in SolveModel).
+func walkConfig(opts Options, adaptiveDefaults adaptive.Params) (walk.Config, error) {
 	if opts.Walkers < 0 {
-		return Result{}, fmt.Errorf("core: negative walker count %d", opts.Walkers)
+		return walk.Config{}, fmt.Errorf("core: negative walker count %d", opts.Walkers)
 	}
-	params := costas.TunedParams(opts.N)
+	method, err := normalizeMethod(opts.Method)
+	if err != nil {
+		return walk.Config{}, err
+	}
+
+	params := adaptiveDefaults
 	if opts.Params != nil {
 		params = *opts.Params
 	}
-	params.MaxIterations = opts.MaxIterations
+	// Precedence (documented on Options.MaxIterations): a non-zero
+	// Options.MaxIterations wins; otherwise a caller-supplied Params keeps
+	// its own budget.
+	if opts.MaxIterations != 0 {
+		params.MaxIterations = opts.MaxIterations
+	}
+
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	newModel := func() csp.Model { return costas.New(opts.N, opts.Model) }
-
 	cfg := walk.Config{
 		Walkers:    opts.Walkers,
 		CheckEvery: opts.CheckEvery,
-		Params:     params,
 		MasterSeed: seed,
 	}
 
+	if method != MethodPortfolio && len(opts.Portfolio) > 0 {
+		return walk.Config{}, fmt.Errorf("core: Options.Portfolio set but Method is %q (want \"portfolio\")", method)
+	}
+	if method == MethodPortfolio {
+		names := opts.Portfolio
+		if len(names) == 0 {
+			names = []string{MethodAdaptive, MethodTabu, MethodHillclimb, MethodDialectic}
+		}
+		for _, name := range names {
+			canonical, err := normalizeMethod(name)
+			if err != nil {
+				return walk.Config{}, err
+			}
+			if canonical == MethodPortfolio {
+				return walk.Config{}, fmt.Errorf("core: portfolio cannot nest %q", name)
+			}
+			f, err := methodFactory(canonical, params, opts)
+			if err != nil {
+				return walk.Config{}, err
+			}
+			cfg.Portfolio = append(cfg.Portfolio, f)
+		}
+		return cfg, nil
+	}
+
+	cfg.Factory, err = methodFactory(method, params, opts)
+	return cfg, err
+}
+
+// SolveModel runs the solver described by opts on any permutation CSP:
+// newModel must return a fresh, independent model instance per call (one
+// per walker). Options.N and Options.Model are ignored — the instance is
+// whatever newModel builds. A nil Options.Params uses adaptive defaults
+// with an automatic restart limit, not the CAP-tuned set.
+//
+// The result's Array is the winning walker's configuration; SolveModel
+// performs no problem-specific verification (Solve layers the Costas check
+// on top), but a solved engine's configuration has model cost zero by
+// construction.
+func SolveModel(ctx context.Context, newModel func() csp.Model, opts Options) (Result, error) {
+	if newModel == nil {
+		return Result{}, fmt.Errorf("core: nil model factory")
+	}
+	return solveWith(ctx, newModel, opts, adaptive.DefaultParams())
+}
+
+// solveWith is the shared run path of Solve and SolveModel: resolve the
+// walk configuration, pick the execution mode, and repackage the result.
+func solveWith(ctx context.Context, newModel func() csp.Model, opts Options, adaptiveDefaults adaptive.Params) (Result, error) {
+	cfg, err := walkConfig(opts, adaptiveDefaults)
+	if err != nil {
+		return Result{}, err
+	}
+
 	var wres walk.Result
-	if opts.Virtual && cfg.Walkers > 1 {
+	if opts.Virtual && opts.Walkers > 1 {
 		wres = walk.Virtual(newModel, cfg, 0)
 	} else {
 		wres = walk.Parallel(ctx, newModel, cfg)
 	}
 
-	res := Result{
+	return Result{
 		Solved:          wres.Solved,
 		Array:           wres.Solution,
 		Winner:          wres.Winner,
@@ -134,6 +280,20 @@ func Solve(ctx context.Context, opts Options) (Result, error) {
 		TotalIterations: wres.TotalIterations,
 		WallTime:        wres.WallTime,
 		Stats:           wres.Stats,
+	}, nil
+}
+
+// Solve runs the solver described by opts on the Costas Array Problem of
+// order opts.N. It returns an error for invalid options; an unsolved
+// Result (within iteration budgets) is not an error.
+func Solve(ctx context.Context, opts Options) (Result, error) {
+	if opts.N < 1 {
+		return Result{}, fmt.Errorf("core: invalid order N=%d", opts.N)
+	}
+	newModel := func() csp.Model { return costas.New(opts.N, opts.Model) }
+	res, err := solveWith(ctx, newModel, opts, costas.TunedParams(opts.N))
+	if err != nil {
+		return res, err
 	}
 	if res.Solved && !costas.IsCostas(res.Array) {
 		// Cannot happen unless a model/engine invariant is broken; fail

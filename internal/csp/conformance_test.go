@@ -1,0 +1,181 @@
+package csp_test
+
+// Cross-engine conformance suite: every csp.Engine implementation in the
+// repository must (a) solve easy instances of two different models
+// deterministically from a fixed seed, and (b) honour the Step/Solve
+// contract — a Step-driven run follows the same trajectory iteration for
+// iteration as a monolithic Solve from the same seed, whatever the
+// quantum. This is what lets the multi-walk runner, the virtual lockstep
+// cluster and the cooperative scheduler drive any method interchangeably.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/costas"
+	"repro/internal/csp"
+	"repro/internal/dialectic"
+	"repro/internal/hillclimb"
+	"repro/internal/models/nqueens"
+	"repro/internal/tabu"
+)
+
+type conformanceModel struct {
+	name     string
+	newModel func() csp.Model
+	valid    func(sol []int) bool
+}
+
+func conformanceModels() []conformanceModel {
+	return []conformanceModel{
+		{
+			name:     "cap10",
+			newModel: func() csp.Model { return costas.New(10, costas.Options{}) },
+			valid:    costas.IsCostas,
+		},
+		{
+			name:     "nqueens16",
+			newModel: func() csp.Model { return nqueens.New(16) },
+			valid:    nqueens.Valid,
+		},
+	}
+}
+
+func conformanceEngines() map[string]csp.Factory {
+	return map[string]csp.Factory{
+		"adaptive":  adaptive.Factory(adaptive.DefaultParams()),
+		"tabu":      tabu.Factory(tabu.Params{}),
+		"hillclimb": hillclimb.Factory(hillclimb.Params{}),
+		"dialectic": dialectic.Factory(dialectic.Params{}),
+	}
+}
+
+const conformanceSeed = 42
+
+// TestEnginesSolveDeterministically: same seed → same solution and same
+// counters, for every engine on every model, and the solution verifies.
+func TestEnginesSolveDeterministically(t *testing.T) {
+	for engineName, factory := range conformanceEngines() {
+		for _, m := range conformanceModels() {
+			t.Run(engineName+"/"+m.name, func(t *testing.T) {
+				e1 := factory(m.newModel(), conformanceSeed)
+				e2 := factory(m.newModel(), conformanceSeed)
+				if !e1.Solve() || !e2.Solve() {
+					t.Fatal("engine did not solve an easy instance")
+				}
+				if !e1.Solved() || e1.Exhausted() {
+					t.Fatalf("inconsistent termination state: solved=%v exhausted=%v",
+						e1.Solved(), e1.Exhausted())
+				}
+				if e1.Cost() != 0 {
+					t.Fatalf("solved engine reports cost %d", e1.Cost())
+				}
+				s1, s2 := e1.Solution(), e2.Solution()
+				if !m.valid(s1) {
+					t.Fatalf("invalid solution %v", s1)
+				}
+				if !reflect.DeepEqual(s1, s2) {
+					t.Fatalf("same seed, different solutions: %v vs %v", s1, s2)
+				}
+				if e1.Stats() != e2.Stats() {
+					t.Fatalf("same seed, different stats: %+v vs %+v", e1.Stats(), e2.Stats())
+				}
+				if e1.Stats().Iterations <= 0 {
+					t.Fatal("no iterations recorded")
+				}
+			})
+		}
+	}
+}
+
+// TestStepMatchesSolveIterationForIteration: driving an engine by Step
+// with an awkward quantum must reproduce the Solve trajectory exactly —
+// same solution, same final counters.
+func TestStepMatchesSolveIterationForIteration(t *testing.T) {
+	for engineName, factory := range conformanceEngines() {
+		for _, m := range conformanceModels() {
+			t.Run(engineName+"/"+m.name, func(t *testing.T) {
+				whole := factory(m.newModel(), conformanceSeed)
+				if !whole.Solve() {
+					t.Fatal("Solve-driven run failed")
+				}
+
+				stepped := factory(m.newModel(), conformanceSeed)
+				for !stepped.Solved() && !stepped.Exhausted() {
+					stepped.Step(7) // deliberately not a divisor of anything
+				}
+				if !stepped.Solved() {
+					t.Fatal("Step-driven run failed")
+				}
+
+				if got, want := stepped.Stats(), whole.Stats(); got != want {
+					t.Fatalf("Step-driven stats diverge from Solve-driven:\n got %+v\nwant %+v", got, want)
+				}
+				if got, want := stepped.Solution(), whole.Solution(); !reflect.DeepEqual(got, want) {
+					t.Fatalf("Step-driven solution diverges: %v vs %v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestStepHonoursBudget: a budgeted engine must flag exhaustion instead of
+// overrunning, for every method, and report Solved false.
+func TestStepHonoursBudget(t *testing.T) {
+	hard := func() csp.Model { return costas.New(19, costas.Options{}) }
+	for engineName, factory := range map[string]csp.Factory{
+		"adaptive":  adaptive.Factory(func() adaptive.Params { p := adaptive.DefaultParams(); p.MaxIterations = 50; return p }()),
+		"tabu":      tabu.Factory(tabu.Params{MaxIterations: 50}),
+		"hillclimb": hillclimb.Factory(hillclimb.Params{MaxIterations: 50}),
+		"dialectic": dialectic.Factory(dialectic.Params{MaxIterations: 50}),
+	} {
+		t.Run(engineName, func(t *testing.T) {
+			e := factory(hard(), conformanceSeed)
+			if e.Solve() {
+				t.Skip("improbably lucky run")
+			}
+			if !e.Exhausted() {
+				t.Fatal("budgeted engine not exhausted")
+			}
+			if e.Stats().Iterations > 50 {
+				t.Fatalf("budget overrun: %d iterations", e.Stats().Iterations)
+			}
+		})
+	}
+}
+
+// TestRestartableContract: every engine implements csp.Restartable and
+// resumes cleanly from an externally supplied configuration.
+func TestRestartableContract(t *testing.T) {
+	for engineName, factory := range conformanceEngines() {
+		t.Run(engineName, func(t *testing.T) {
+			m := costas.New(10, costas.Options{})
+			e := factory(m, conformanceSeed)
+			rs, ok := e.(csp.Restartable)
+			if !ok {
+				t.Fatalf("%s engine does not implement csp.Restartable", engineName)
+			}
+			e.Step(3)
+			restartsBefore := e.Stats().Restarts
+			cfg := make([]int, 10)
+			for i := range cfg {
+				cfg[i] = 9 - i // a fixed (non-Costas) permutation
+			}
+			rs.RestartFrom(cfg)
+			if e.Stats().Restarts != restartsBefore+1 {
+				t.Fatal("RestartFrom did not count a restart")
+			}
+			if !e.Solve() || !costas.IsCostas(e.Solution()) {
+				t.Fatal("engine did not recover after RestartFrom")
+			}
+
+			defer func() {
+				if recover() == nil {
+					t.Fatal("RestartFrom accepted a non-permutation")
+				}
+			}()
+			rs.RestartFrom(make([]int, 10)) // all zeros: not a permutation
+		})
+	}
+}

@@ -1,0 +1,89 @@
+package csp
+
+// This file defines the engine side of the contract: every local-search
+// method in the repository (adaptive search, tabu, hill climbing, dialectic
+// search) is a resumable walker behind one small interface, so the
+// multi-walk runner (internal/walk), the facade (internal/core) and the
+// benchmark harnesses can drive any method — or a mixed portfolio of
+// methods — over any Model without knowing which algorithm is running.
+
+// Stats is the unified counter block shared by all engines. Each method
+// fills the counters that are meaningful for it and leaves the rest zero:
+//
+//   - Iterations is the method's primary work unit and the virtual-time
+//     currency of the multi-walk runner (repair iterations for adaptive
+//     search, neighborhood scans for tabu, sampled moves for hill
+//     climbing, dialectic rounds for dialectic search);
+//   - Evaluations counts configuration-cost evaluations (CostIfSwap/Bind)
+//     where the method tracks them (tabu, dialectic);
+//   - the remaining counters are per-method event counts the paper's
+//     tables and the ablations report.
+type Stats struct {
+	Iterations   int64 // primary work unit (virtual-time currency)
+	Evaluations  int64 // cost evaluations, where counted
+	LocalMinima  int64 // strict local minima encountered (adaptive)
+	Resets       int64 // reset procedures performed (adaptive)
+	Restarts     int64 // full restarts / diversifications
+	Swaps        int64 // committed improving moves (adaptive)
+	PlateauMoves int64 // committed sideways moves (adaptive)
+	UphillMoves  int64 // committed worsening moves (adaptive)
+	Moves        int64 // accepted improving moves (hill climbing)
+	Aspirations  int64 // tabu moves accepted by aspiration (tabu)
+	Rounds       int64 // dialectic thesis→antithesis→synthesis rounds
+	Descents     int64 // greedy descents performed (dialectic)
+}
+
+// Engine is one resumable local-search walker over one Model instance.
+// Engines are created solved-aware (a random initial configuration can
+// already be a solution) and are not safe for concurrent use; parallel
+// search runs one Engine per goroutine (see internal/walk).
+//
+// The Step/Solve contract is strict: Solve must be exactly a Step loop, so
+// that a Step-driven run (the multi-walk's "test for a message every c
+// iterations" of §V-A) follows the same trajectory iteration for iteration
+// as a monolithic Solve from the same seed. The conformance tests in this
+// package's test suite enforce this for every implementation.
+type Engine interface {
+	// Step runs at most quantum iterations (of the method's work unit) and
+	// reports whether the walker is solved. It returns early on solution
+	// or exhaustion.
+	Step(quantum int) bool
+
+	// Solve runs until a solution is found or the iteration budget is
+	// exhausted, reporting success.
+	Solve() bool
+
+	// Solved reports whether the walker has reached a zero-cost
+	// configuration.
+	Solved() bool
+
+	// Exhausted reports whether the iteration budget was hit without a
+	// solution.
+	Exhausted() bool
+
+	// Cost returns the current configuration's global cost.
+	Cost() int
+
+	// Solution returns a copy of the walker's best configuration;
+	// meaningful as a solution only once Solved() is true.
+	Solution() []int
+
+	// Stats returns a snapshot of the walker's counters.
+	Stats() Stats
+}
+
+// Factory builds one engine over one fresh model instance, seeded for an
+// independent walk. The multi-walk runner invokes it once per walker with
+// chaotically-derived seeds (§III-B3); a portfolio run passes a different
+// Factory per walker so one run can mix methods.
+type Factory func(model Model, seed uint64) Engine
+
+// Restartable is implemented by engines that can be restarted from an
+// externally supplied configuration — the hook the cooperative multi-walk
+// (§VI future work) uses to seed restarts from shared crossroads. The
+// engine must install a copy of cfg, rebind its model and clear per-run
+// state (tabu marks, stall counters, restart clocks).
+type Restartable interface {
+	Engine
+	RestartFrom(cfg []int)
+}

@@ -32,15 +32,16 @@ type Params struct {
 	// evaluations; ≤ 0 means unlimited. Evaluations are the solver's
 	// natural work unit and what Table II's time ratio tracks.
 	MaxEvaluations int64
+	// MaxIterations bounds the number of dialectic rounds (the engine
+	// iteration unit the multi-walk runner steps in); ≤ 0 means unlimited.
+	MaxIterations int64
 }
 
-// Stats counts Dialectic Search work for cross-solver comparison.
-type Stats struct {
-	Evaluations int64 // CostIfSwap/Bind evaluations (work unit)
-	Rounds      int64 // dialectic thesis→antithesis→synthesis rounds
-	Descents    int64 // greedy descents performed
-	Restarts    int64
-}
+// Stats is the unified engine counter block (csp.Stats). Dialectic Search
+// fills Iterations (= Rounds, the engine's step unit), Evaluations
+// (CostIfSwap/Bind evaluations, the Table II work unit), Rounds, Descents
+// and Restarts.
+type Stats = csp.Stats
 
 // Solver runs Dialectic Search on a permutation model.
 type Solver struct {
@@ -48,14 +49,26 @@ type Solver struct {
 	params Params
 	r      *rng.RNG
 
-	cfg    []int
-	best   []int
-	stats  Stats
-	solved bool
+	cfg       []int
+	best      []int
+	stats     Stats
+	solved    bool
+	exhausted bool
+
+	descended bool // initial thesis descent performed
+	noImp     int  // consecutive rounds without improvement
 
 	anti    []int
 	synth   []int
 	scratch []int
+}
+
+// Factory wraps params into a csp.Factory for the multi-walk runner and
+// the core facade.
+func Factory(params Params) csp.Factory {
+	return func(model csp.Model, seed uint64) csp.Engine {
+		return New(model, params, seed)
+	}
 }
 
 // New creates a Dialectic Search solver with an initial random thesis.
@@ -75,11 +88,19 @@ func New(model csp.Model, params Params, seed uint64) *Solver {
 	s.cfg = csp.RandomConfiguration(n, s.r)
 	model.Bind(s.cfg)
 	s.best = csp.Clone(s.cfg)
+	s.solved = model.Cost() == 0
 	return s
 }
 
 // Solved reports whether a zero-cost configuration was reached.
 func (s *Solver) Solved() bool { return s.solved }
+
+// Exhausted reports whether an evaluation or round budget was hit without
+// a solution.
+func (s *Solver) Exhausted() bool { return s.exhausted }
+
+// Cost returns the current configuration's global cost.
+func (s *Solver) Cost() int { return s.model.Cost() }
 
 // Stats returns the solver's work counters.
 func (s *Solver) Stats() Stats { return s.stats }
@@ -87,52 +108,102 @@ func (s *Solver) Stats() Stats { return s.stats }
 // Solution returns a copy of the best configuration found.
 func (s *Solver) Solution() []int { return csp.Clone(s.best) }
 
-// budget reports whether the evaluation budget is exhausted.
+// budget reports whether the evaluation or round budget is exhausted.
 func (s *Solver) budget() bool {
-	return s.params.MaxEvaluations > 0 && s.stats.Evaluations >= s.params.MaxEvaluations
+	return (s.params.MaxEvaluations > 0 && s.stats.Evaluations >= s.params.MaxEvaluations) ||
+		(s.params.MaxIterations > 0 && s.stats.Iterations >= s.params.MaxIterations)
 }
 
-// Solve runs the dialectic loop until solved or the budget runs out,
-// reporting success.
-func (s *Solver) Solve() bool {
-	m := s.model
-	// Initial thesis: greedy local minimum.
-	s.descend()
-	if m.Cost() == 0 {
-		s.finish()
-		return true
+// Step runs at most quantum dialectic rounds (the engine's iteration unit;
+// each round is a thesis→antithesis→synthesis cycle, so one round is far
+// heavier than one adaptive-search repair iteration) and reports whether
+// the solver is solved, returning early on solution or exhaustion. The
+// initial greedy descent to the first thesis happens on the first call.
+func (s *Solver) Step(quantum int) bool {
+	if s.solved || s.exhausted {
+		return s.solved
 	}
-	noImp := 0
-	for !s.budget() {
-		s.stats.Rounds++
-		thesisCost := m.Cost()
-
-		// Antithesis: perturb a random segment of the thesis.
-		s.makeAntithesis()
-
-		// Synthesis: greedy path from thesis to antithesis.
-		synthCost := s.synthesize()
-
-		if synthCost < thesisCost {
-			copy(s.cfg, s.synth)
-			m.Bind(s.cfg)
-			s.stats.Evaluations++
-			s.descend()
-			noImp = 0
-		} else {
-			noImp++
-			if noImp >= s.params.NoImprovementLimit {
-				s.restart()
-				noImp = 0
-			}
+	if !s.descended {
+		// Initial thesis: greedy local minimum.
+		s.descended = true
+		s.descend()
+		if s.model.Cost() == 0 {
+			s.finish()
+			return true
 		}
-		if m.Cost() == 0 {
+	}
+	for k := 0; k < quantum; k++ {
+		if s.budget() {
+			s.exhausted = true
+			return false
+		}
+		if s.iterate() {
 			s.finish()
 			return true
 		}
 	}
 	return false
 }
+
+// Solve runs the dialectic loop until solved or the budget runs out,
+// reporting success.
+func (s *Solver) Solve() bool {
+	for !s.solved && !s.exhausted {
+		s.Step(64)
+	}
+	return s.solved
+}
+
+// iterate performs one dialectic round; it reports whether the
+// configuration reached cost zero.
+func (s *Solver) iterate() bool {
+	m := s.model
+	s.stats.Iterations++
+	s.stats.Rounds++
+	thesisCost := m.Cost()
+
+	// Antithesis: perturb a random segment of the thesis.
+	s.makeAntithesis()
+
+	// Synthesis: greedy path from thesis to antithesis.
+	synthCost := s.synthesize()
+
+	if synthCost < thesisCost {
+		copy(s.cfg, s.synth)
+		m.Bind(s.cfg)
+		s.stats.Evaluations++
+		s.descend()
+		s.noImp = 0
+	} else {
+		s.noImp++
+		if s.noImp >= s.params.NoImprovementLimit {
+			s.restart()
+			s.noImp = 0
+		}
+	}
+	return m.Cost() == 0
+}
+
+// RestartFrom installs a copy of cfg as the solver's thesis, rebinding the
+// model and clearing the round state; the next Step descends it to a local
+// minimum exactly as the initial thesis — the hook the cooperative
+// multi-walk uses to seed restarts from shared crossroads.
+func (s *Solver) RestartFrom(cfg []int) {
+	if len(cfg) != len(s.cfg) || !csp.IsPermutation(cfg) {
+		panic("dialectic: RestartFrom with invalid configuration")
+	}
+	s.stats.Restarts++
+	copy(s.cfg, cfg)
+	s.model.Bind(s.cfg)
+	s.noImp = 0
+	s.descended = false
+	s.solved = s.model.Cost() == 0
+	if s.solved {
+		copy(s.best, s.cfg)
+	}
+}
+
+var _ csp.Restartable = (*Solver)(nil)
 
 func (s *Solver) finish() {
 	s.solved = true

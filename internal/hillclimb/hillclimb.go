@@ -27,12 +27,10 @@ type Params struct {
 	MaxIterations int64
 }
 
-// Stats counts hill-climber work.
-type Stats struct {
-	Iterations int64 // sampled moves
-	Moves      int64 // accepted improving moves
-	Restarts   int64
-}
+// Stats is the unified engine counter block (csp.Stats). The hill climber
+// fills Iterations (sampled moves), Moves (accepted improving moves) and
+// Restarts.
+type Stats = csp.Stats
 
 // Solver is a random-restart first-improvement hill climber.
 type Solver struct {
@@ -40,9 +38,19 @@ type Solver struct {
 	params Params
 	r      *rng.RNG
 
-	cfg    []int
-	stats  Stats
-	solved bool
+	cfg          []int
+	sinceImprove int64
+	stats        Stats
+	solved       bool
+	exhausted    bool
+}
+
+// Factory wraps params into a csp.Factory for the multi-walk runner and
+// the core facade.
+func Factory(params Params) csp.Factory {
+	return func(model csp.Model, seed uint64) csp.Engine {
+		return New(model, params, seed)
+	}
 }
 
 // New creates a hill climber with a random initial configuration.
@@ -53,11 +61,18 @@ func New(model csp.Model, params Params, seed uint64) *Solver {
 	s := &Solver{model: model, params: params, r: rng.New(seed)}
 	s.cfg = csp.RandomConfiguration(model.Size(), s.r)
 	model.Bind(s.cfg)
+	s.solved = model.Cost() == 0
 	return s
 }
 
 // Solved reports whether a zero-cost configuration was reached.
 func (s *Solver) Solved() bool { return s.solved }
+
+// Exhausted reports whether MaxIterations was hit without a solution.
+func (s *Solver) Exhausted() bool { return s.exhausted }
+
+// Cost returns the current configuration's global cost.
+func (s *Solver) Cost() int { return s.model.Cost() }
 
 // Stats returns the solver's counters.
 func (s *Solver) Stats() Stats { return s.stats }
@@ -65,35 +80,77 @@ func (s *Solver) Stats() Stats { return s.stats }
 // Solution returns a copy of the current configuration.
 func (s *Solver) Solution() []int { return csp.Clone(s.cfg) }
 
-// Solve runs until solved or the sampling budget is exhausted.
-func (s *Solver) Solve() bool {
-	m := s.model
-	n := len(s.cfg)
-	budget := int64(s.params.SampleFactor) * int64(n) * int64(n)
-	sinceImprove := int64(0)
-	for s.params.MaxIterations <= 0 || s.stats.Iterations < s.params.MaxIterations {
-		if m.Cost() == 0 {
+// Step runs at most quantum sampled moves and reports whether the solver
+// is solved, returning early on solution or exhaustion — the resumability
+// hook the multi-walk runner drives (§V-A).
+func (s *Solver) Step(quantum int) bool {
+	if s.solved || s.exhausted {
+		return s.solved
+	}
+	for k := 0; k < quantum; k++ {
+		if s.params.MaxIterations > 0 && s.stats.Iterations >= s.params.MaxIterations {
+			s.exhausted = true
+			return false
+		}
+		if s.iterate() {
 			s.solved = true
 			return true
-		}
-		s.stats.Iterations++
-		i, j := s.r.Intn(n), s.r.Intn(n)
-		if i == j {
-			continue
-		}
-		if m.CostIfSwap(i, j) < m.Cost() {
-			m.ExecSwap(i, j)
-			s.stats.Moves++
-			sinceImprove = 0
-			continue
-		}
-		sinceImprove++
-		if sinceImprove >= budget {
-			s.stats.Restarts++
-			s.r.PermInto(s.cfg)
-			m.Bind(s.cfg)
-			sinceImprove = 0
 		}
 	}
 	return false
 }
+
+// Solve runs until solved or the sampling budget is exhausted.
+func (s *Solver) Solve() bool {
+	for !s.solved && !s.exhausted {
+		s.Step(4096)
+	}
+	return s.solved
+}
+
+// iterate samples one candidate move; it reports whether the configuration
+// reached cost zero.
+func (s *Solver) iterate() bool {
+	m := s.model
+	n := len(s.cfg)
+	if m.Cost() == 0 {
+		return true
+	}
+	budget := int64(s.params.SampleFactor) * int64(n) * int64(n)
+	s.stats.Iterations++
+	i, j := s.r.Intn(n), s.r.Intn(n)
+	if i == j {
+		return false
+	}
+	if m.CostIfSwap(i, j) < m.Cost() {
+		m.ExecSwap(i, j)
+		s.stats.Moves++
+		s.sinceImprove = 0
+		return m.Cost() == 0
+	}
+	s.sinceImprove++
+	if s.sinceImprove >= budget {
+		s.stats.Restarts++
+		s.r.PermInto(s.cfg)
+		m.Bind(s.cfg)
+		s.sinceImprove = 0
+		return m.Cost() == 0
+	}
+	return false
+}
+
+// RestartFrom installs a copy of cfg as the climber's configuration,
+// rebinding the model and clearing the stall counter — the hook the
+// cooperative multi-walk uses to seed restarts from shared crossroads.
+func (s *Solver) RestartFrom(cfg []int) {
+	if len(cfg) != len(s.cfg) || !csp.IsPermutation(cfg) {
+		panic("hillclimb: RestartFrom with invalid configuration")
+	}
+	s.stats.Restarts++
+	copy(s.cfg, cfg)
+	s.model.Bind(s.cfg)
+	s.sinceImprove = 0
+	s.solved = s.model.Cost() == 0
+}
+
+var _ csp.Restartable = (*Solver)(nil)

@@ -26,13 +26,10 @@ type Params struct {
 	MaxIterations int64
 }
 
-// Stats counts tabu-search work.
-type Stats struct {
-	Iterations  int64 // neighborhood scans
-	Evaluations int64 // CostIfSwap calls
-	Aspirations int64 // tabu moves accepted by aspiration
-	Restarts    int64
-}
+// Stats is the unified engine counter block (csp.Stats). Tabu search fills
+// Iterations (neighborhood scans), Evaluations (CostIfSwap calls),
+// Aspirations (tabu moves accepted by aspiration) and Restarts.
+type Stats = csp.Stats
 
 // Solver is a single tabu-search run over a permutation model.
 type Solver struct {
@@ -40,12 +37,22 @@ type Solver struct {
 	params Params
 	r      *rng.RNG
 
-	cfg      []int
-	tabu     [][]int64 // tabu[i][j]: iteration until which swapping values i,j is tabu
-	bestCost int
-	best     []int
-	stats    Stats
-	solved   bool
+	cfg       []int
+	tabu      [][]int64 // tabu[i][j]: iteration until which swapping values i,j is tabu
+	bestCost  int
+	best      []int
+	stall     int64
+	stats     Stats
+	solved    bool
+	exhausted bool
+}
+
+// Factory wraps params into a csp.Factory for the multi-walk runner and
+// the core facade.
+func Factory(params Params) csp.Factory {
+	return func(model csp.Model, seed uint64) csp.Engine {
+		return New(model, params, seed)
+	}
 }
 
 // New creates a tabu-search solver with a random initial configuration.
@@ -70,11 +77,18 @@ func New(model csp.Model, params Params, seed uint64) *Solver {
 	model.Bind(s.cfg)
 	s.best = csp.Clone(s.cfg)
 	s.bestCost = model.Cost()
+	s.solved = s.bestCost == 0
 	return s
 }
 
 // Solved reports whether a zero-cost configuration was reached.
 func (s *Solver) Solved() bool { return s.solved }
+
+// Exhausted reports whether MaxIterations was hit without a solution.
+func (s *Solver) Exhausted() bool { return s.exhausted }
+
+// Cost returns the current configuration's global cost.
+func (s *Solver) Cost() int { return s.model.Cost() }
 
 // Stats returns the solver's counters.
 func (s *Solver) Stats() Stats { return s.stats }
@@ -82,80 +96,127 @@ func (s *Solver) Stats() Stats { return s.stats }
 // Solution returns a copy of the best configuration found.
 func (s *Solver) Solution() []int { return csp.Clone(s.best) }
 
-// Solve runs until solved or the iteration budget is exhausted.
-func (s *Solver) Solve() bool {
-	m := s.model
-	n := len(s.cfg)
-	if m.Cost() == 0 {
-		s.solved = true
-		copy(s.best, s.cfg)
-		return true
+// Step runs at most quantum neighborhood scans and reports whether the
+// solver is solved, returning early on solution or exhaustion — the
+// resumability hook the multi-walk runner drives (§V-A).
+func (s *Solver) Step(quantum int) bool {
+	if s.solved || s.exhausted {
+		return s.solved
 	}
-	stall := int64(0)
-	for s.params.MaxIterations <= 0 || s.stats.Iterations < s.params.MaxIterations {
-		s.stats.Iterations++
-		now := s.stats.Iterations
-		cur := m.Cost()
-
-		bestI, bestJ, bestMove := -1, -1, int(^uint(0)>>1)
-		aspired := false
-		for i := 0; i < n-1; i++ {
-			for j := i + 1; j < n; j++ {
-				c := m.CostIfSwap(i, j)
-				s.stats.Evaluations++
-				vi, vj := s.cfg[i], s.cfg[j]
-				if vi > vj {
-					vi, vj = vj, vi
-				}
-				isTabu := s.tabu[vi][vj] > now
-				// Aspiration: a tabu move that beats the global best is
-				// always admissible.
-				if isTabu && c >= s.bestCost {
-					continue
-				}
-				if c < bestMove {
-					bestMove, bestI, bestJ = c, i, j
-					aspired = isTabu
-				}
-			}
+	for k := 0; k < quantum; k++ {
+		if s.params.MaxIterations > 0 && s.stats.Iterations >= s.params.MaxIterations {
+			s.exhausted = true
+			return false
 		}
-		if bestI < 0 {
-			// Whole neighborhood tabu: clear and diversify.
-			s.diversify()
-			continue
-		}
-		vi, vj := s.cfg[bestI], s.cfg[bestJ]
-		if vi > vj {
-			vi, vj = vj, vi
-		}
-		s.tabu[vi][vj] = now + int64(s.params.TenureBase+s.r.Intn(s.params.TenureSpread))
-		if aspired {
-			s.stats.Aspirations++
-		}
-		m.ExecSwap(bestI, bestJ)
-
-		if c := m.Cost(); c < s.bestCost {
-			s.bestCost = c
-			copy(s.best, s.cfg)
-			stall = 0
-		} else {
-			stall++
-		}
-		if m.Cost() == 0 {
+		if s.iterate() {
 			s.solved = true
-			copy(s.best, s.cfg)
 			return true
 		}
-		// Long stagnation: random restart keeps the runtime distribution
-		// near-memoryless, as for the other solvers.
-		if stall > int64(50*n*n) {
-			s.diversify()
-			stall = 0
-		}
-		_ = cur
 	}
 	return false
 }
+
+// Solve runs until solved or the iteration budget is exhausted.
+func (s *Solver) Solve() bool {
+	for !s.solved && !s.exhausted {
+		s.Step(1024)
+	}
+	return s.solved
+}
+
+// iterate performs one neighborhood scan plus move; it reports whether the
+// configuration reached cost zero.
+func (s *Solver) iterate() bool {
+	m := s.model
+	n := len(s.cfg)
+	if m.Cost() == 0 {
+		copy(s.best, s.cfg)
+		return true
+	}
+	s.stats.Iterations++
+	now := s.stats.Iterations
+
+	bestI, bestJ, bestMove := -1, -1, int(^uint(0)>>1)
+	aspired := false
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			c := m.CostIfSwap(i, j)
+			s.stats.Evaluations++
+			vi, vj := s.cfg[i], s.cfg[j]
+			if vi > vj {
+				vi, vj = vj, vi
+			}
+			isTabu := s.tabu[vi][vj] > now
+			// Aspiration: a tabu move that beats the global best is
+			// always admissible.
+			if isTabu && c >= s.bestCost {
+				continue
+			}
+			if c < bestMove {
+				bestMove, bestI, bestJ = c, i, j
+				aspired = isTabu
+			}
+		}
+	}
+	if bestI < 0 {
+		// Whole neighborhood tabu: clear and diversify.
+		s.diversify()
+		return m.Cost() == 0
+	}
+	vi, vj := s.cfg[bestI], s.cfg[bestJ]
+	if vi > vj {
+		vi, vj = vj, vi
+	}
+	s.tabu[vi][vj] = now + int64(s.params.TenureBase+s.r.Intn(s.params.TenureSpread))
+	if aspired {
+		s.stats.Aspirations++
+	}
+	m.ExecSwap(bestI, bestJ)
+
+	if c := m.Cost(); c < s.bestCost {
+		s.bestCost = c
+		copy(s.best, s.cfg)
+		s.stall = 0
+	} else {
+		s.stall++
+	}
+	if m.Cost() == 0 {
+		copy(s.best, s.cfg)
+		return true
+	}
+	// Long stagnation: random restart keeps the runtime distribution
+	// near-memoryless, as for the other solvers.
+	if s.stall > int64(50*n*n) {
+		s.diversify()
+		s.stall = 0
+	}
+	return false
+}
+
+// RestartFrom installs a copy of cfg as the solver's configuration,
+// rebinding the model and clearing the tabu/stall state — the hook the
+// cooperative multi-walk uses to seed restarts from shared crossroads.
+func (s *Solver) RestartFrom(cfg []int) {
+	if len(cfg) != len(s.cfg) || !csp.IsPermutation(cfg) {
+		panic("tabu: RestartFrom with invalid configuration")
+	}
+	s.stats.Restarts++
+	copy(s.cfg, cfg)
+	s.model.Bind(s.cfg)
+	for i := range s.tabu {
+		for j := range s.tabu[i] {
+			s.tabu[i][j] = 0
+		}
+	}
+	s.stall = 0
+	if c := s.model.Cost(); c < s.bestCost {
+		s.bestCost = c
+		copy(s.best, s.cfg)
+	}
+	s.solved = s.model.Cost() == 0
+}
+
+var _ csp.Restartable = (*Solver)(nil)
 
 // diversify clears the tabu structure and re-randomises the configuration.
 func (s *Solver) diversify() {

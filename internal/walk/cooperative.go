@@ -19,6 +19,10 @@ package walk
 // plain independent multi-walk of §V-A, so the independent scheme is the
 // RestartFromPool = 0 special case.
 //
+// Like the independent runner, the scheme is engine-generic: any method
+// whose engines implement csp.Restartable (all four in this repository
+// do) can participate, and portfolio mode mixes methods across walkers.
+//
 // The cooperative scheme is *not* part of the paper's evaluation — it is
 // its future work — so the benchmarks report it as an extension
 // (cmd/paperbench is unaffected; see the cooperative benches in
@@ -29,12 +33,16 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/adaptive"
 	"repro/internal/csp"
 	"repro/internal/rng"
 )
 
 // CoopConfig extends Config with the communication policy.
+//
+// The scheduler owns the restart policy: engines should be created with
+// their internal restarts disabled (e.g. adaptive.Params.RestartLimit =
+// −1), because the scheduler performs restarts itself every RestartEvery
+// iterations through the csp.Restartable hook, seeding them from the pool.
 type CoopConfig struct {
 	Config
 
@@ -50,9 +58,13 @@ type CoopConfig struct {
 	// its cost is below bestKnown × OfferThreshold (default 1.25) — the
 	// "interesting crossroads" filter.
 	OfferThreshold float64
+
+	// RestartEvery is the scheduler's restart period per walker, in
+	// iterations (default 2n², mirroring the tuned engine restart limit).
+	RestartEvery int64
 }
 
-func (c CoopConfig) withDefaults() CoopConfig {
+func (c CoopConfig) withDefaults(n int) CoopConfig {
 	c.Config = c.Config.withDefaults()
 	if c.PoolSize <= 0 {
 		c.PoolSize = 8
@@ -62,6 +74,9 @@ func (c CoopConfig) withDefaults() CoopConfig {
 	}
 	if c.OfferThreshold == 0 {
 		c.OfferThreshold = 1.25
+	}
+	if c.RestartEvery <= 0 {
+		c.RestartEvery = 2 * int64(n) * int64(n)
 	}
 	return c
 }
@@ -136,44 +151,43 @@ type CoopResult struct {
 	Offers      int64 // configurations offered to the pool
 	Accepted    int64 // offers retained
 	PoolRestart int64 // restarts seeded from the pool
+
+	// EngineRestarts counts restarts the engines performed on their own,
+	// outside the scheduler (Σ engine Restarts − scheduler-issued). A
+	// non-zero value means a factory left an internal restart policy
+	// enabled, competing with the scheduler's pool seeding — the knob
+	// callers should watch when wiring a new factory.
+	EngineRestarts int64
 }
 
 // Cooperative runs the dependent multi-walk in lockstep virtual time (the
 // mode comparable to Virtual — the extension benchmarks compare the two
-// directly). Each walker runs its own engine; at every quantum boundary it
-// may offer its configuration to the pool, and engine restarts are
-// intercepted so that with probability RestartFromPool the walker resumes
-// from a pooled crossroad.
-//
-// Implementation note: engines expose restarts only through their stats,
-// so the interception is cooperative — walkers run with restarts disabled
-// and this scheduler performs the restart policy itself every quantum,
-// mirroring the engine's RestartLimit accounting.
+// directly). Each walker runs the engine its factory builds; at every
+// quantum boundary it may offer its configuration to the pool, and every
+// RestartEvery iterations the scheduler restarts it — with probability
+// RestartFromPool from a pooled crossroad instead of a fresh random
+// permutation — through the csp.Restartable hook. Engines that do not
+// implement csp.Restartable simply never restart (the scheduler cannot
+// intercept their trajectory), so factories should disable their internal
+// restart policies to hand control to the scheduler.
 func Cooperative(newModel func() csp.Model, cfg CoopConfig, maxVirtualIterations int64) CoopResult {
-	cfg = cfg.withDefaults()
+	probe := newModel()
+	cfg = cfg.withDefaults(probe.Size())
 	start := time.Now()
 
 	seeds := rng.NewChaoticSeeder(cfg.MasterSeed).Seeds(cfg.Walkers)
-	restartLimit := cfg.Params.RestartLimit
-	if restartLimit == 0 {
-		n := newModel().Size()
-		restartLimit = 2 * int64(n) * int64(n)
-	}
-	engineParams := cfg.Params
-	engineParams.RestartLimit = -1 // scheduler owns the restart policy
-
 	walkers := make([]*coopWalker, cfg.Walkers)
 	for i := range walkers {
 		m := newModel()
 		walkers[i] = &coopWalker{
-			engine: adaptive.NewEngine(m, engineParams, seeds[i]),
+			engine: cfg.factoryFor(i)(m, seeds[i]),
 			r:      rng.New(seeds[i] ^ 0xD1B54A32D192ED03),
 		}
 	}
 
 	pool := newCrossroadPool(cfg.PoolSize)
 	res := CoopResult{}
-	var virtualTime int64
+	var virtualTime, schedulerRestarts int64
 
 	for {
 		solvedAny := false
@@ -197,7 +211,8 @@ func Cooperative(newModel func() csp.Model, cfg CoopConfig, maxVirtualIterations
 			}
 
 			// Scheduler-driven restart with pool seeding.
-			if w.sinceRst >= restartLimit {
+			rs, restartable := w.engine.(csp.Restartable)
+			if restartable && w.sinceRst >= cfg.RestartEvery {
 				w.sinceRst = 0
 				cfgSlice := w.engine.Solution() // correctly sized scratch copy
 				if w.r.Float64() < cfg.RestartFromPool && pool.sample(cfgSlice, w.r) {
@@ -205,7 +220,8 @@ func Cooperative(newModel func() csp.Model, cfg CoopConfig, maxVirtualIterations
 				} else {
 					w.r.PermInto(cfgSlice)
 				}
-				w.engine.RestartFrom(cfgSlice)
+				rs.RestartFrom(cfgSlice)
+				schedulerRestarts++
 				if w.engine.Solved() {
 					solvedAny = true
 				}
@@ -221,7 +237,7 @@ func Cooperative(newModel func() csp.Model, cfg CoopConfig, maxVirtualIterations
 		}
 	}
 
-	engines := make([]*adaptive.Engine, len(walkers))
+	engines := make([]csp.Engine, len(walkers))
 	for i, w := range walkers {
 		engines[i] = w.engine
 	}
@@ -235,12 +251,16 @@ func Cooperative(newModel func() csp.Model, cfg CoopConfig, maxVirtualIterations
 		}
 	}
 	res.Result = collect(engines, winner, start)
+	for _, s := range res.Stats {
+		res.EngineRestarts += s.Restarts
+	}
+	res.EngineRestarts -= schedulerRestarts
 	return res
 }
 
 // coopWalker is one cooperative walker's private state.
 type coopWalker struct {
-	engine   *adaptive.Engine
+	engine   csp.Engine
 	r        *rng.RNG
 	sinceRst int64
 }

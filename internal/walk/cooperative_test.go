@@ -3,12 +3,19 @@ package walk
 import (
 	"testing"
 
+	"repro/internal/adaptive"
 	"repro/internal/costas"
 	"repro/internal/rng"
+	"repro/internal/tabu"
 )
 
 func coopConfig(n, walkers int, seed uint64) CoopConfig {
-	return CoopConfig{Config: capConfig(n, walkers, seed)}
+	// The scheduler owns the restart policy, so internal restarts are off.
+	p := costas.TunedParams(n)
+	p.RestartLimit = -1
+	cfg := capConfig(n, walkers, seed)
+	cfg.Factory = adaptive.Factory(p)
+	return CoopConfig{Config: cfg}
 }
 
 func TestCooperativeSolves(t *testing.T) {
@@ -60,6 +67,31 @@ func TestCooperativeCommunicationCounters(t *testing.T) {
 	}
 }
 
+func TestCooperativeSchedulerOwnsRestarts(t *testing.T) {
+	// With internal restarts disabled (as coopConfig wires them), every
+	// restart is scheduler-issued, so EngineRestarts must be zero; a
+	// factory with the engine's own restart policy left on must show up
+	// in the counter.
+	res := Cooperative(capFactory(15), coopConfig(15, 8, 11), 0)
+	if !res.Solved {
+		t.Fatal("unsolved")
+	}
+	if res.EngineRestarts != 0 {
+		t.Fatalf("disabled-restart engines still restarted on their own %d times", res.EngineRestarts)
+	}
+
+	leaky := coopConfig(14, 4, 3)
+	leaky.Factory = adaptive.Factory(costas.TunedParams(14)) // RestartLimit left on
+	lres := Cooperative(capFactory(14), leaky, 0)
+	var total int64
+	for _, s := range lres.Stats {
+		total += s.Restarts
+	}
+	if total > 0 && lres.EngineRestarts == 0 {
+		t.Fatalf("engine-internal restarts not surfaced: stats=%d engine=%d", total, lres.EngineRestarts)
+	}
+}
+
 func TestCooperativeBudgetStops(t *testing.T) {
 	res := Cooperative(capFactory(18), coopConfig(18, 4, 1), 256)
 	if res.Solved {
@@ -69,6 +101,19 @@ func TestCooperativeBudgetStops(t *testing.T) {
 		if s.Iterations > 512 {
 			t.Fatalf("walker %d exceeded budget: %d", i, s.Iterations)
 		}
+	}
+}
+
+func TestCooperativePortfolio(t *testing.T) {
+	// A mixed-method cooperative run: both methods implement
+	// csp.Restartable, so both participate in pool restarts.
+	cfg := coopConfig(12, 6, 13)
+	p := costas.TunedParams(12)
+	p.RestartLimit = -1
+	cfg.Portfolio = append(cfg.Portfolio, adaptive.Factory(p), tabu.Factory(tabu.Params{}))
+	res := Cooperative(capFactory(12), cfg, 0)
+	if !res.Solved || !costas.IsCostas(res.Solution) {
+		t.Fatalf("portfolio cooperative run failed: %+v", res.Result)
 	}
 }
 

@@ -2,11 +2,13 @@
 // multi-walk (multi-start) local search with first-solution termination.
 //
 // The parallelisation is deliberately communication-free ("Pleasantly
-// Parallel"): K walkers run the same Adaptive Search engine from different
-// chaotically-derived seeds, and everything stops as soon as one finds a
-// solution. On K cores the wall time is the *minimum* of K i.i.d.
-// sequential runtimes; with (near-)exponential runtime distributions this
-// yields the near-linear speed-ups of Tables III–V.
+// Parallel") and method-agnostic: K walker engines — built by a
+// csp.Factory, so any method implementing csp.Engine (adaptive search,
+// tabu, hill climbing, dialectic search) or a mixed portfolio of methods —
+// run from different chaotically-derived seeds, and everything stops as
+// soon as one finds a solution. On K cores the wall time is the *minimum*
+// of K i.i.d. sequential runtimes; with (near-)exponential runtime
+// distributions this yields the near-linear speed-ups of Tables III–V.
 //
 // Two execution modes are provided:
 //
@@ -34,7 +36,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/adaptive"
 	"repro/internal/csp"
 	"repro/internal/rng"
 )
@@ -50,8 +51,15 @@ type Config struct {
 	// it is also the lockstep quantum of the virtual mode. Default 64.
 	CheckEvery int
 
-	// Params are the engine parameters shared by all walkers.
-	Params adaptive.Params
+	// Factory builds each walker's engine (method + parameters); it is
+	// required unless Portfolio is set. Use adaptive.Factory, tabu.Factory,
+	// hillclimb.Factory or dialectic.Factory — or any custom csp.Factory.
+	Factory csp.Factory
+
+	// Portfolio, when non-empty, overrides Factory with a per-walker
+	// factory slice: walker i runs Portfolio[i % len(Portfolio)], so one
+	// run can mix methods across walkers (portfolio mode).
+	Portfolio []csp.Factory
 
 	// MasterSeed seeds the chaotic sequencer that derives per-walker seeds
 	// (§III-B3). Two runs with the same master seed and walker count are
@@ -77,6 +85,29 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// factoryFor returns walker i's engine factory, honouring portfolio mode.
+// It panics on a misconfigured run (no factory at all): every caller is
+// expected to wire a method, and a silent default would hide the bug.
+func (c Config) factoryFor(i int) csp.Factory {
+	if len(c.Portfolio) > 0 {
+		return c.Portfolio[i%len(c.Portfolio)]
+	}
+	if c.Factory == nil {
+		panic("walk: Config.Factory or Config.Portfolio must be set")
+	}
+	return c.Factory
+}
+
+// newEngines builds the walker engines with chaotically-derived seeds.
+func newEngines(newModel func() csp.Model, cfg Config) []csp.Engine {
+	seeds := rng.NewChaoticSeeder(cfg.MasterSeed).Seeds(cfg.Walkers)
+	engines := make([]csp.Engine, cfg.Walkers)
+	for i := range engines {
+		engines[i] = cfg.factoryFor(i)(newModel(), seeds[i])
+	}
+	return engines
+}
+
 // Result reports the outcome of a multi-walk run.
 type Result struct {
 	Solved   bool
@@ -95,12 +126,12 @@ type Result struct {
 	WallTime time.Duration
 
 	// Stats holds each walker's final counters.
-	Stats []adaptive.Stats
+	Stats []csp.Stats
 }
 
 // Parallel runs K walkers concurrently on real goroutines and returns as
-// soon as one solves (or ctx is cancelled, or every walker exhausts
-// Params.MaxIterations).
+// soon as one solves (or ctx is cancelled, or every walker exhausts its
+// iteration budget).
 //
 // newModel must return a fresh, independent model instance per call; it is
 // invoked once per walker.
@@ -108,11 +139,7 @@ func Parallel(ctx context.Context, newModel func() csp.Model, cfg Config) Result
 	cfg = cfg.withDefaults()
 	start := time.Now()
 
-	seeds := rng.NewChaoticSeeder(cfg.MasterSeed).Seeds(cfg.Walkers)
-	engines := make([]*adaptive.Engine, cfg.Walkers)
-	for i := range engines {
-		engines[i] = adaptive.NewEngine(newModel(), cfg.Params, seeds[i])
-	}
+	engines := newEngines(newModel, cfg)
 
 	var (
 		done      atomic.Bool
@@ -181,10 +208,15 @@ func Virtual(newModel func() csp.Model, cfg Config, maxVirtualIterations int64) 
 	cfg = cfg.withDefaults()
 	start := time.Now()
 
-	seeds := rng.NewChaoticSeeder(cfg.MasterSeed).Seeds(cfg.Walkers)
-	engines := make([]*adaptive.Engine, cfg.Walkers)
-	for i := range engines {
-		engines[i] = adaptive.NewEngine(newModel(), cfg.Params, seeds[i])
+	engines := newEngines(newModel, cfg)
+
+	// A random initial configuration can already be a solution (always for
+	// n ≤ 2); the lockstep rounds skip solved engines, so without this
+	// up-front check such a run would spin forever.
+	for i, e := range engines {
+		if e.Solved() {
+			return collect(engines, i, start)
+		}
 	}
 
 	workers := cfg.MaxParallelism
@@ -235,7 +267,7 @@ func Virtual(newModel func() csp.Model, cfg Config, maxVirtualIterations int64) 
 		if maxVirtualIterations > 0 && virtualTime >= maxVirtualIterations {
 			return collect(engines, -1, start)
 		}
-		// All walkers exhausted (MaxIterations)?
+		// All walkers exhausted their budgets?
 		allDead := true
 		for _, e := range engines {
 			if !e.Exhausted() {
@@ -250,11 +282,11 @@ func Virtual(newModel func() csp.Model, cfg Config, maxVirtualIterations int64) 
 }
 
 // collect assembles a Result from finished engines.
-func collect(engines []*adaptive.Engine, winner int, start time.Time) Result {
+func collect(engines []csp.Engine, winner int, start time.Time) Result {
 	res := Result{
 		Winner:   winner,
 		WallTime: time.Since(start),
-		Stats:    make([]adaptive.Stats, len(engines)),
+		Stats:    make([]csp.Stats, len(engines)),
 	}
 	for i, e := range engines {
 		res.Stats[i] = e.Stats()

@@ -7,6 +7,8 @@ import (
 	"repro/internal/adaptive"
 	"repro/internal/costas"
 	"repro/internal/csp"
+	"repro/internal/hillclimb"
+	"repro/internal/tabu"
 )
 
 func capFactory(n int) func() csp.Model {
@@ -16,9 +18,18 @@ func capFactory(n int) func() csp.Model {
 func capConfig(n, walkers int, seed uint64) Config {
 	return Config{
 		Walkers:    walkers,
-		Params:     costas.TunedParams(n),
+		Factory:    adaptive.Factory(costas.TunedParams(n)),
 		MasterSeed: seed,
 	}
+}
+
+// capConfigMaxIter is capConfig with a per-walker iteration budget.
+func capConfigMaxIter(n, walkers int, seed uint64, maxIter int64) Config {
+	p := costas.TunedParams(n)
+	p.MaxIterations = maxIter
+	cfg := capConfig(n, walkers, seed)
+	cfg.Factory = adaptive.Factory(p)
+	return cfg
 }
 
 func TestParallelSolvesCAP12(t *testing.T) {
@@ -48,8 +59,7 @@ func TestParallelSingleWalker(t *testing.T) {
 }
 
 func TestParallelHonoursExhaustion(t *testing.T) {
-	cfg := capConfig(18, 3, 3)
-	cfg.Params.MaxIterations = 200 // nobody solves CAP 18 in 200 iterations
+	cfg := capConfigMaxIter(18, 3, 3, 200) // nobody solves CAP 18 in 200 iterations
 	res := Parallel(context.Background(), capFactory(18), cfg)
 	if res.Solved {
 		t.Skip("improbably lucky run")
@@ -132,6 +142,20 @@ func TestVirtualBudgetStops(t *testing.T) {
 	}
 }
 
+func TestVirtualTrivialInstanceReturns(t *testing.T) {
+	// n ≤ 2 instances are solved at engine construction; Virtual must
+	// detect that up front instead of spinning lockstep rounds forever.
+	for _, n := range []int{1, 2} {
+		res := Virtual(capFactory(n), capConfig(n, 2, 1), 0)
+		if !res.Solved || !costas.IsCostas(res.Solution) {
+			t.Fatalf("n=%d trivial virtual run failed: %v", n, res)
+		}
+		if res.WinnerIterations != 0 {
+			t.Fatalf("n=%d: pre-solved walker reports %d iterations", n, res.WinnerIterations)
+		}
+	}
+}
+
 func TestConfigDefaults(t *testing.T) {
 	c := Config{}.withDefaults()
 	if c.Walkers != 1 || c.CheckEvery != 64 || c.MaxParallelism < 1 {
@@ -139,12 +163,21 @@ func TestConfigDefaults(t *testing.T) {
 	}
 }
 
+func TestConfigRequiresFactory(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("factoryFor on an empty Config did not panic")
+		}
+	}()
+	Config{}.withDefaults().factoryFor(0)
+}
+
 func TestResultString(t *testing.T) {
 	res := Virtual(capFactory(10), capConfig(10, 2, 1), 0)
 	if res.String() == "" {
 		t.Fatal("empty result string")
 	}
-	unsolved := Result{Winner: -1, Stats: make([]adaptive.Stats, 2)}
+	unsolved := Result{Winner: -1, Stats: make([]csp.Stats, 2)}
 	if unsolved.String() == "" {
 		t.Fatal("empty unsolved string")
 	}
@@ -153,8 +186,7 @@ func TestResultString(t *testing.T) {
 func TestParallelContextCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // pre-cancelled: walkers must exit promptly without solving big instance
-	cfg := capConfig(20, 2, 1)
-	cfg.Params.MaxIterations = 1 << 40
+	cfg := capConfigMaxIter(20, 2, 1, 1<<40)
 	res := Parallel(ctx, capFactory(20), cfg)
 	if res.Solved {
 		t.Skip("improbably lucky run")
@@ -198,5 +230,54 @@ func TestTotalIterationsAggregates(t *testing.T) {
 	}
 	if sum != res.TotalIterations {
 		t.Fatalf("TotalIterations %d != Σ stats %d", res.TotalIterations, sum)
+	}
+}
+
+// portfolioConfig mixes three methods across walkers, round-robin.
+func portfolioConfig(n, walkers int, seed uint64) Config {
+	return Config{
+		Walkers: walkers,
+		Portfolio: []csp.Factory{
+			adaptive.Factory(costas.TunedParams(n)),
+			tabu.Factory(tabu.Params{}),
+			hillclimb.Factory(hillclimb.Params{}),
+		},
+		MasterSeed: seed,
+	}
+}
+
+func TestParallelPortfolioMixesMethods(t *testing.T) {
+	res := Parallel(context.Background(), capFactory(11), portfolioConfig(11, 6, 4))
+	if !res.Solved || !costas.IsCostas(res.Solution) {
+		t.Fatalf("portfolio run failed: %v", res)
+	}
+	if len(res.Stats) != 6 {
+		t.Fatalf("stats for %d walkers, want 6", len(res.Stats))
+	}
+}
+
+func TestVirtualPortfolioDeterministic(t *testing.T) {
+	run := func() Result { return Virtual(capFactory(11), portfolioConfig(11, 6, 8), 0) }
+	r1, r2 := run(), run()
+	if !r1.Solved || r1.Winner != r2.Winner || r1.WinnerIterations != r2.WinnerIterations {
+		t.Fatalf("portfolio virtual mode not deterministic: (%d,%d) vs (%d,%d)",
+			r1.Winner, r1.WinnerIterations, r2.Winner, r2.WinnerIterations)
+	}
+	if !costas.IsCostas(r1.Solution) {
+		t.Fatalf("invalid solution %v", r1.Solution)
+	}
+}
+
+func TestVirtualSingleMethodEngines(t *testing.T) {
+	// Every baseline method must run the multi-walk on its own as well.
+	for name, factory := range map[string]csp.Factory{
+		"tabu":      tabu.Factory(tabu.Params{}),
+		"hillclimb": hillclimb.Factory(hillclimb.Params{}),
+	} {
+		cfg := Config{Walkers: 4, Factory: factory, MasterSeed: 9}
+		res := Virtual(capFactory(10), cfg, 0)
+		if !res.Solved || !costas.IsCostas(res.Solution) {
+			t.Fatalf("%s multi-walk failed: %v", name, res)
+		}
 	}
 }
