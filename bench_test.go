@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/adaptive"
+	"repro/internal/core"
 	"repro/internal/costas"
 	"repro/internal/cp"
 	"repro/internal/csp"
@@ -105,7 +106,7 @@ func benchVirtual(b *testing.B, n, cores int) {
 	factory := func() csp.Model { return costas.New(n, costas.Options{}) }
 	var iters int64
 	for i := 0; i < b.N; i++ {
-		res := walk.Virtual(factory, walk.Config{
+		res := walk.Virtual(context.Background(), factory, walk.Config{
 			Walkers:    cores,
 			Factory:    adaptive.Factory(costas.TunedParams(n)),
 			MasterSeed: uint64(i)*7919 + 1,
@@ -197,7 +198,7 @@ func BenchmarkExtensionCooperative(b *testing.B) {
 	factory := func() csp.Model { return costas.New(benchParN, costas.Options{}) }
 	b.Run("independent", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res := walk.Virtual(factory, walk.Config{
+			res := walk.Virtual(context.Background(), factory, walk.Config{
 				Walkers:    16,
 				Factory:    adaptive.Factory(costas.TunedParams(benchParN)),
 				MasterSeed: uint64(i)*6151 + 1,
@@ -211,7 +212,7 @@ func BenchmarkExtensionCooperative(b *testing.B) {
 		coopParams := costas.TunedParams(benchParN)
 		coopParams.RestartLimit = -1 // the cooperative scheduler owns restarts
 		for i := 0; i < b.N; i++ {
-			res := walk.Cooperative(factory, walk.CoopConfig{Config: walk.Config{
+			res := walk.Cooperative(context.Background(), factory, walk.CoopConfig{Config: walk.Config{
 				Walkers:    16,
 				Factory:    adaptive.Factory(coopParams),
 				MasterSeed: uint64(i)*6151 + 1,
@@ -221,6 +222,87 @@ func BenchmarkExtensionCooperative(b *testing.B) {
 			}
 		}
 	})
+	b.Run("cooperativeParallel", func(b *testing.B) {
+		coopParams := costas.TunedParams(benchParN)
+		coopParams.RestartLimit = -1
+		for i := 0; i < b.N; i++ {
+			res := walk.CooperativeParallel(context.Background(), factory, walk.CoopConfig{Config: walk.Config{
+				Walkers:    16,
+				Factory:    adaptive.Factory(coopParams),
+				MasterSeed: uint64(i)*6151 + 1,
+			}})
+			if !res.Solved {
+				b.Fatal("unsolved")
+			}
+		}
+	})
+}
+
+// batchOrders is the BenchmarkBatchThroughput workload: a small stream of
+// mixed CAP instances, the shape a hot server path sees.
+func batchOrders() []int {
+	return []int{10, 11, 12, 12, 11, 10, 12, 11}
+}
+
+// BenchmarkBatchThroughput compares the three ways to drain a stream of
+// instances: a sequential core.Solve loop, core.SolveBatch over the
+// worker pool, and the batch with engine reuse. Solves/op is constant
+// across sub-benchmarks, so ns/op is directly comparable — the batch
+// layer must be at least as fast as the hand-rolled loop.
+func BenchmarkBatchThroughput(b *testing.B) {
+	orders := batchOrders()
+	b.Run("sequentialLoop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, n := range orders {
+				res, err := core.Solve(context.Background(),
+					core.Options{N: n, Seed: uint64(i*len(orders)+j)*2654435761 + 1})
+				if err != nil || !res.Solved {
+					b.Fatalf("unsolved: %v", err)
+				}
+			}
+		}
+	})
+	run := func(reuse bool) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.SolveBatch(context.Background(),
+					core.BatchCAP(orders, core.Options{}),
+					core.BatchOptions{MasterSeed: uint64(i)*7919 + 1, ReuseEngines: reuse})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.Solved != len(orders) {
+					b.Fatalf("batch left jobs unsolved: %+v", res.Stats)
+				}
+			}
+		}
+	}
+	b.Run("batch", run(false))
+	b.Run("batchReuse", run(true))
+}
+
+// BenchmarkBatchVirtualMixed drives the acceptance-shaped batch — mixed
+// orders × mixed methods on the virtual cluster — through the worker
+// pool, the batch counterpart of the per-table virtual benches above.
+func BenchmarkBatchVirtualMixed(b *testing.B) {
+	var jobs []core.BatchJob
+	for _, method := range []string{"adaptive", "tabu", "hillclimb", "dialectic"} {
+		for _, n := range []int{10, 11, 12} {
+			jobs = append(jobs, core.BatchJob{Options: core.Options{
+				N: n, Method: method, Walkers: 4, Virtual: true,
+			}})
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := core.SolveBatch(context.Background(), jobs,
+			core.BatchOptions{MasterSeed: uint64(i)*104729 + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Solved != len(jobs) {
+			b.Fatalf("batch left jobs unsolved: %+v", res.Stats)
+		}
+	}
 }
 
 func benchName(k string, v int) string {

@@ -12,9 +12,11 @@
 //	costas -n 17 -grid -triangle          # pretty-print the solution
 //	costas -n 16 -construct               # algebraic construction instead of search
 //	costas -n 12 -method cp               # complete CP search (no multi-walk)
+//	costas -batch 12,13,14                # solve a batch of orders concurrently
+//	costas -batch 14,15 -count 10 -reuse  # 10 solves per order, pooled engines
 //
-// The exit status is 0 on success and 1 if the instance was not solved
-// within the given budget.
+// The exit status is 0 on success and 1 if the instance (or any batch
+// job) was not solved within the given budget.
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -47,6 +50,10 @@ func main() {
 		quiet     = flag.Bool("q", false, "print only the array")
 		construct = flag.Bool("construct", false, "use a Welch/Golomb construction instead of search")
 		platform  = flag.String("platform", "", "also report virtual seconds on a paper platform (ha8000, suno, helios, jugene, t7500)")
+		batch     = flag.String("batch", "", "comma-separated orders to solve as one concurrent batch (overrides -n)")
+		count     = flag.Int("count", 1, "solves per batch order (batch mode only)")
+		jobs      = flag.Int("jobs", 0, "concurrent batch jobs (0 = GOMAXPROCS)")
+		reuse     = flag.Bool("reuse", false, "pool engines across compatible batch jobs (hot path)")
 	)
 	flag.Parse()
 
@@ -78,6 +85,10 @@ func main() {
 	}
 
 	if *construct {
+		if *batch != "" {
+			fmt.Fprintln(os.Stderr, "-batch is a search mode; -construct does not support it")
+			os.Exit(2)
+		}
 		arr := core.Construct(*n)
 		if arr == nil {
 			fmt.Fprintf(os.Stderr, "no classical construction covers order %d (that is why the paper searches)\n", *n)
@@ -88,7 +99,28 @@ func main() {
 	}
 
 	if *method == "cp" {
+		if *batch != "" {
+			fmt.Fprintln(os.Stderr, "-batch is a multi-walk mode; -method cp does not support it")
+			os.Exit(2)
+		}
 		runCP(*n, *maxIter, *grid, *triangle, *quiet)
+		return
+	}
+
+	if *batch != "" {
+		if *grid || *triangle || *platform != "" {
+			fmt.Fprintln(os.Stderr, "-grid, -triangle and -platform are single-instance reports; -batch does not support them")
+			os.Exit(2)
+		}
+		runBatch(*batch, *count, *jobs, *reuse, batchTemplate{
+			method:    *method,
+			portfolio: *portfolio,
+			walkers:   *walkers,
+			virtual:   *virtual,
+			seed:      *seed,
+			maxIter:   *maxIter,
+			quiet:     *quiet,
+		})
 		return
 	}
 
@@ -126,6 +158,88 @@ func main() {
 			}
 			fmt.Printf("virtual time on %s: %.3f s\n", p.Name, p.Seconds(res.Iterations))
 		}
+	}
+}
+
+// batchTemplate carries the per-job options shared by every job of a
+// -batch run.
+type batchTemplate struct {
+	method    string
+	portfolio string
+	walkers   int
+	virtual   bool
+	seed      uint64
+	maxIter   int64
+	quiet     bool
+}
+
+// runBatch solves `-batch n1,n2,...` × `-count` concurrently through
+// core.SolveBatch and prints one line per job plus the aggregate. The
+// master seed is -seed; per-job seeds are derived from it, so a virtual
+// batch is reproducible run for run.
+func runBatch(orders string, count, jobs int, reuse bool, tmpl batchTemplate) {
+	var ns []int
+	for _, field := range strings.Split(orders, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -batch order %q: %v\n", field, err)
+			os.Exit(2)
+		}
+		ns = append(ns, n)
+	}
+	if count < 1 {
+		count = 1
+	}
+	opts := core.Options{
+		Method:        tmpl.method,
+		Walkers:       tmpl.walkers,
+		Virtual:       tmpl.virtual,
+		MaxIterations: tmpl.maxIter,
+	}
+	if tmpl.portfolio != "" {
+		opts.Portfolio = strings.Split(tmpl.portfolio, ",")
+	}
+	repeated := make([]int, 0, len(ns)*count)
+	for _, n := range ns {
+		for k := 0; k < count; k++ {
+			repeated = append(repeated, n)
+		}
+	}
+	res, err := core.SolveBatch(context.Background(), core.BatchCAP(repeated, opts), core.BatchOptions{
+		Concurrency:  jobs,
+		MasterSeed:   tmpl.seed,
+		ReuseEngines: reuse,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for i, jr := range res.Jobs {
+		n := repeated[i]
+		switch {
+		case jr.Err != nil:
+			failed = true
+			fmt.Fprintf(os.Stderr, "job %d (n=%d): %v\n", i, n, jr.Err)
+		case !jr.Result.Solved:
+			failed = true
+			fmt.Fprintf(os.Stderr, "job %d (n=%d): unsolved within budget (%d iterations)\n",
+				i, n, jr.Result.TotalIterations)
+		case tmpl.quiet:
+			emit(jr.Result.Array, false, false, true)
+		default:
+			fmt.Printf("job %d: n=%d solved iterations=%d total_iterations=%d reused=%v wall=%v\n",
+				i, n, jr.Result.Iterations, jr.Result.TotalIterations, jr.Reused, jr.Result.WallTime)
+		}
+	}
+	if !tmpl.quiet {
+		st := res.Stats
+		fmt.Printf("batch: jobs=%d solved=%d errors=%d reused=%d total_iterations=%d wall=%v throughput=%.1f solves/s\n",
+			st.Jobs, st.Solved, st.Errors, st.EnginesReused, st.TotalIterations, st.WallTime, st.SolvesPerSec)
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/adaptive"
@@ -30,7 +31,7 @@ func runExtension(sc Scale) {
 		var offers, accepted, poolRestarts int64
 		for r := 0; r < runs; r++ {
 			seed := uint64(n)*500_009 + uint64(r)*37 + 1
-			ri := walk.Virtual(modelFactory(n), walk.Config{
+			ri := walk.Virtual(context.Background(), modelFactory(n), walk.Config{
 				Walkers: walkers, Factory: tunedFactory(n), MasterSeed: seed}, 0)
 			if ri.Solved {
 				indep.Add(float64(ri.WinnerIterations))
@@ -39,7 +40,7 @@ func runExtension(sc Scale) {
 			// engines run with internal restarts disabled.
 			coopParams := costas.TunedParams(n)
 			coopParams.RestartLimit = -1
-			rc := walk.Cooperative(modelFactory(n), walk.CoopConfig{Config: walk.Config{
+			rc := walk.Cooperative(context.Background(), modelFactory(n), walk.CoopConfig{Config: walk.Config{
 				Walkers: walkers, Factory: adaptive.Factory(coopParams), MasterSeed: seed}}, 0)
 			if rc.Solved {
 				coop.Add(float64(rc.WinnerIterations))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -65,7 +66,7 @@ func virtualRuns(n, cores, runs int, seedBase uint64) *stats.Sample {
 			Factory:    tunedFactory(n),
 			MasterSeed: seedBase + uint64(r)*0xA5A5A5A5 + 1,
 		}
-		res := walk.Virtual(modelFactory(n), cfg, 0)
+		res := walk.Virtual(context.Background(), modelFactory(n), cfg, 0)
 		if !res.Solved {
 			fmt.Fprintf(os.Stderr, "warning: unsolved virtual run n=%d cores=%d\n", n, cores)
 			continue

@@ -20,6 +20,14 @@
 // — and core.SolveModel drives any csp.Model (N-Queens, All-Interval,
 // Magic Square, or your own) through the same machinery.
 //
+// All run modes share one cancellable scheduler core
+// (internal/walk/scheduler.go) parameterised by execution mode (real
+// goroutines vs lockstep virtual time) and communication policy
+// (independent vs the §VI crossroads pool); on top of it,
+// core.SolveBatch is the throughput layer — many instances solved
+// concurrently over a bounded worker pool, with engine pooling via
+// csp.Restartable for hot serving paths.
+//
 // Entry points:
 //
 //   - internal/core — the solving facade (see examples/quickstart);

@@ -112,7 +112,7 @@ func TestVirtualSpeedupPipeline(t *testing.T) {
 	sample := func(cores int) []float64 {
 		var xs []float64
 		for r := 0; r < 25; r++ {
-			res := walk.Virtual(func() csp.Model { return costas.New(n, costas.Options{}) },
+			res := walk.Virtual(context.Background(), func() csp.Model { return costas.New(n, costas.Options{}) },
 				walk.Config{Walkers: cores, Factory: adaptive.Factory(costas.TunedParams(n)), MasterSeed: uint64(cores*100 + r)},
 				0)
 			if !res.Solved {
@@ -133,7 +133,7 @@ func TestVirtualSpeedupPipeline(t *testing.T) {
 // faithfully (same winner and iterations for same inputs).
 func TestCoreFacadeMatchesWalkDirectly(t *testing.T) {
 	const n, walkers, seed = 12, 16, 77
-	direct := walk.Virtual(func() csp.Model { return costas.New(n, costas.Options{}) },
+	direct := walk.Virtual(context.Background(), func() csp.Model { return costas.New(n, costas.Options{}) },
 		walk.Config{Walkers: walkers, Factory: adaptive.Factory(costas.TunedParams(n)), MasterSeed: seed}, 0)
 	viaCore, err := core.Solve(context.Background(),
 		core.Options{N: n, Walkers: walkers, Virtual: true, Seed: seed})
@@ -154,7 +154,7 @@ func TestCooperativeExtensionSolvesHarderInstance(t *testing.T) {
 	}
 	coopParams := costas.TunedParams(15)
 	coopParams.RestartLimit = -1 // the cooperative scheduler owns restarts
-	res := walk.Cooperative(func() csp.Model { return costas.New(15, costas.Options{}) },
+	res := walk.Cooperative(context.Background(), func() csp.Model { return costas.New(15, costas.Options{}) },
 		walk.CoopConfig{Config: walk.Config{Walkers: 8, Factory: adaptive.Factory(coopParams), MasterSeed: 2}}, 0)
 	if !res.Solved || !costas.IsCostas(res.Solution) {
 		t.Fatalf("cooperative run failed: %+v", res.Result)

@@ -1,0 +1,348 @@
+package core
+
+// Batch / throughput layer: solve many instances — mixed orders, mixed
+// methods, mixed execution modes — concurrently over a bounded worker
+// pool, with per-job results, aggregate stats and an engine-reuse hot
+// path. This is the serving-shaped API on top of the unified multi-walk
+// scheduler: a server handling a stream of solve requests wants one call
+// that amortises model/engine allocation and saturates the machine, not a
+// hand-rolled loop of core.Solve calls.
+//
+// Determinism: every job gets an explicit seed — its own Options.Seed if
+// non-zero, otherwise one derived from BatchOptions.MasterSeed and the
+// job index via the chaotic seeder (§III-B3). Job outcomes are therefore
+// independent of worker scheduling: a virtual-mode batch is bit-identical
+// across runs and concurrency levels for a fixed master seed. The one
+// documented exception is ReuseEngines (see BatchOptions).
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/costas"
+	"repro/internal/csp"
+	"repro/internal/rng"
+)
+
+// BatchJob describes one solve in a batch: the instance plus the solver
+// options to run it with.
+type BatchJob struct {
+	// Options selects the instance (N), the method and the execution mode,
+	// exactly as for Solve. Options.Seed == 0 means "derive this job's
+	// seed from the batch master seed" (not "seed 1" as in Solve): batches
+	// must decorrelate their jobs by default.
+	Options Options
+
+	// NewModel optionally overrides the CAP model with any csp.Model
+	// factory, as in SolveModel; nil solves the CAP of order Options.N.
+	NewModel func() csp.Model
+}
+
+// BatchOptions configures the batch run.
+type BatchOptions struct {
+	// Concurrency bounds how many jobs are solved at once; 0 means
+	// GOMAXPROCS. Each in-flight job may itself run Options.Walkers
+	// goroutines, so CPU-bound callers typically set Concurrency high for
+	// sequential jobs and low for wide multi-walk jobs.
+	Concurrency int
+
+	// MasterSeed seeds the chaotic sequencer that derives per-job seeds
+	// for jobs whose Options.Seed is 0. Two batches with the same master
+	// seed and job list produce identical per-job results in sequential
+	// and virtual modes (real-goroutine jobs are statistically
+	// equivalent). 0 means master seed 1.
+	MasterSeed uint64
+
+	// ReuseEngines enables the hot path: each worker caches its last
+	// model+engine and, when the next job has the same shape (same order,
+	// method and model options; sequential; default params; unlimited
+	// budget), re-arms it through csp.Restartable with a fresh seeded
+	// random permutation instead of allocating anew. Per-job stats are
+	// attributed via csp.Stats.Sub. The engine's internal RNG state
+	// carries across solves, so reused jobs are statistically equivalent
+	// but not bit-reproducible — leave this off when job-level determinism
+	// matters more than allocation throughput.
+	ReuseEngines bool
+}
+
+// JobResult is one job's outcome within a batch.
+type JobResult struct {
+	// Job indexes into the jobs slice passed to SolveBatch.
+	Job int
+	// Result is the solve outcome (zero-valued when Err is non-nil).
+	Result Result
+	// Err reports invalid job options, an internal verification failure,
+	// or ctx cancellation — before the job was dispatched (zero Result) or
+	// while it ran (the partial Result stays attached). An unsolved job
+	// within its budget is NOT an error — check Result.Solved.
+	Err error
+	// Reused tells whether the job ran on a pooled engine (hot path).
+	Reused bool
+}
+
+// BatchStats aggregates a batch run.
+type BatchStats struct {
+	Jobs            int           // jobs submitted
+	Solved          int           // jobs that found a solution
+	Errors          int           // jobs that returned an error
+	EnginesReused   int           // jobs served by a pooled engine
+	TotalIterations int64         // Σ per-job TotalIterations
+	WallTime        time.Duration // batch wall time
+	SolvesPerSec    float64       // Solved / WallTime
+}
+
+// BatchResult is the full outcome of SolveBatch: one JobResult per input
+// job (in input order) plus the aggregate stats.
+type BatchResult struct {
+	Jobs  []JobResult
+	Stats BatchStats
+}
+
+// SolveBatch solves every job concurrently over a worker pool of
+// opts.Concurrency and returns per-job results in input order. Job
+// failures (invalid options) are reported per job, never by the returned
+// error, so one bad job cannot sink a batch; the error is reserved for a
+// nil jobs slice. Cancelling ctx stops the batch promptly: running jobs
+// stop at their next probe quantum and undispatched jobs fail with
+// ctx.Err() — the partial BatchResult is still returned in full.
+func SolveBatch(ctx context.Context, jobs []BatchJob, opts BatchOptions) (BatchResult, error) {
+	if jobs == nil {
+		return BatchResult{}, fmt.Errorf("core: nil batch job slice")
+	}
+	start := time.Now()
+
+	concurrency := opts.Concurrency
+	if concurrency <= 0 {
+		concurrency = runtime.GOMAXPROCS(0)
+	}
+	if concurrency > len(jobs) {
+		concurrency = len(jobs)
+	}
+
+	master := opts.MasterSeed
+	if master == 0 {
+		master = 1
+	}
+	seeds := rng.NewChaoticSeeder(master).Seeds(len(jobs))
+
+	res := BatchResult{Jobs: make([]JobResult, len(jobs))}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var cache engineCache
+			for idx := range next {
+				res.Jobs[idx] = runBatchJob(ctx, jobs[idx], idx, seeds[idx], opts, &cache)
+			}
+		}()
+	}
+	for idx := range jobs {
+		if ctx.Err() != nil {
+			// Mark every undispatched job cancelled; workers drain nothing
+			// more once the channel closes.
+			for rest := idx; rest < len(jobs); rest++ {
+				res.Jobs[rest] = JobResult{Job: rest, Err: ctx.Err()}
+			}
+			break
+		}
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+
+	res.Stats = summarizeBatch(res.Jobs, time.Since(start))
+	return res, nil
+}
+
+func summarizeBatch(jobs []JobResult, wall time.Duration) BatchStats {
+	st := BatchStats{Jobs: len(jobs), WallTime: wall}
+	for _, jr := range jobs {
+		switch {
+		case jr.Err != nil:
+			st.Errors++
+		case jr.Result.Solved:
+			st.Solved++
+		}
+		if jr.Reused {
+			st.EnginesReused++
+		}
+		st.TotalIterations += jr.Result.TotalIterations
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		st.SolvesPerSec = float64(st.Solved) / secs
+	}
+	return st
+}
+
+// reuseKey identifies the engine shapes the hot path may pool: CAP
+// instances solved sequentially with a single method, default parameters
+// and an unlimited budget — the shape a hot server path hits over and
+// over. Everything about such an engine is a pure function of this key,
+// so a cached engine can serve any job with an equal key.
+type reuseKey struct {
+	method string
+	n      int
+	model  costas.Options
+}
+
+// engineCache is one worker's pooled engine (at most one per worker: hot
+// paths batch homogeneous jobs, and a miss simply rebuilds).
+type engineCache struct {
+	key  reuseKey
+	eng  csp.Engine
+	rs   csp.Restartable
+	perm []int
+}
+
+// reusableKey reports whether a job's shape qualifies for engine pooling
+// and returns its cache key.
+func reusableKey(job BatchJob) (reuseKey, bool) {
+	if job.NewModel != nil || job.Options.Walkers > 1 || job.Options.Virtual {
+		return reuseKey{}, false
+	}
+	o := job.Options
+	if o.N < 1 || o.Params != nil || o.MaxIterations != 0 || len(o.Portfolio) > 0 {
+		return reuseKey{}, false
+	}
+	method, err := normalizeMethod(o.Method)
+	if err != nil || method == MethodPortfolio {
+		return reuseKey{}, false
+	}
+	return reuseKey{method: method, n: o.N, model: o.Model}, true
+}
+
+// runBatchJob executes one job, preferring the pooled-engine hot path
+// when enabled and applicable.
+func runBatchJob(ctx context.Context, job BatchJob, idx int, derivedSeed uint64, opts BatchOptions, cache *engineCache) JobResult {
+	if err := ctx.Err(); err != nil {
+		return JobResult{Job: idx, Err: err}
+	}
+
+	seed := job.Options.Seed
+	if seed == 0 {
+		seed = derivedSeed
+	}
+
+	var jr JobResult
+	if key, ok := reusableKey(job); opts.ReuseEngines && ok {
+		jr = runReusedJob(ctx, job, idx, seed, key, cache)
+	} else {
+		jobOpts := job.Options
+		jobOpts.Seed = seed
+		var (
+			r   Result
+			err error
+		)
+		if job.NewModel != nil {
+			r, err = SolveModel(ctx, job.NewModel, jobOpts)
+		} else {
+			r, err = Solve(ctx, jobOpts)
+		}
+		jr = JobResult{Job: idx, Result: r, Err: err}
+	}
+	// A job the solver stopped mid-run because ctx fired is cancelled, not
+	// "unsolved within budget" — surface that through Err (the partial
+	// Result stays attached) so callers can tell the two apart. The
+	// solver's own Cancelled flag is the signal: a job that exhausted its
+	// budget just as ctx fired stays a legitimate unsolved result.
+	if jr.Err == nil && jr.Result.Cancelled {
+		jr.Err = context.Cause(ctx)
+	}
+	return jr
+}
+
+// runReusedJob runs a job on the worker's pooled engine, rebuilding the
+// cache on a shape miss. The engine is re-armed with a fresh random
+// permutation derived from the job seed; per-job stats are the counter
+// deltas since the re-arm, so a reused solve reports exactly the work it
+// did — not the engine's lifetime totals.
+func runReusedJob(ctx context.Context, job BatchJob, idx int, seed uint64, key reuseKey, cache *engineCache) JobResult {
+	start := time.Now()
+	reused := cache.eng != nil && cache.key == key
+	if !reused {
+		factory, err := methodFactory(key.method, costas.TunedParams(key.n), job.Options)
+		if err != nil {
+			return JobResult{Job: idx, Err: err}
+		}
+		eng := factory(costas.New(key.n, key.model), seed)
+		rs, ok := eng.(csp.Restartable)
+		if !ok {
+			// Defensive: all four methods implement Restartable (the
+			// conformance suite enforces it); an engine that does not
+			// simply runs once and is not pooled.
+			*cache = engineCache{}
+			return finishEngineJob(ctx, idx, eng, csp.Stats{}, false, start)
+		}
+		*cache = engineCache{key: key, eng: eng, rs: rs, perm: make([]int, key.n)}
+	} else {
+		rng.New(seed).PermInto(cache.perm)
+		cache.rs.RestartFrom(cache.perm)
+	}
+
+	base := csp.Stats{}
+	if reused {
+		base = cache.eng.Stats()
+	}
+	return finishEngineJob(ctx, idx, cache.eng, base, reused, start)
+}
+
+// solveEngine drives an engine to completion in probe quanta so a
+// cancelled ctx stops the solve promptly, mirroring the scheduler's
+// real-mode cancellation latency.
+func solveEngine(ctx context.Context, e csp.Engine) bool {
+	const quantum = 64 // the default CheckEvery probe period
+	for !e.Solved() && !e.Exhausted() {
+		if ctx.Err() != nil {
+			return e.Solved()
+		}
+		e.Step(quantum)
+	}
+	return e.Solved()
+}
+
+func finishEngineJob(ctx context.Context, idx int, e csp.Engine, base csp.Stats, reused bool, start time.Time) JobResult {
+	solved := solveEngine(ctx, e)
+	st := e.Stats().Sub(base)
+	r := Result{
+		Solved:          solved,
+		Winner:          -1,
+		Iterations:      0,
+		TotalIterations: st.Iterations,
+		WallTime:        time.Since(start),
+		Cancelled:       !solved && !e.Exhausted() && ctx.Err() != nil,
+		Stats:           []csp.Stats{st},
+	}
+	if solved {
+		r.Array = e.Solution()
+		r.Winner = 0
+		r.Iterations = st.Iterations
+		if !costas.IsCostas(r.Array) {
+			// Same loud failure as Solve: a claimed solution that does not
+			// verify means a broken engine/model invariant.
+			return JobResult{Job: idx, Err: fmt.Errorf("core: internal error — claimed solution %v is not a Costas array", r.Array), Reused: reused}
+		}
+	}
+	return JobResult{Job: idx, Result: r, Err: nil, Reused: reused}
+}
+
+// BatchCAP is a convenience builder: one job per order in orders, all
+// sharing the given method and per-job options template (Seed, Walkers,
+// Virtual, ... are taken from tmpl; N is overwritten per job). Use it to
+// express the common "solve these orders" batch in one line:
+//
+//	res, _ := core.SolveBatch(ctx, core.BatchCAP([]int{14, 15, 16}, core.Options{Method: "tabu"}),
+//	    core.BatchOptions{MasterSeed: 7})
+func BatchCAP(orders []int, tmpl Options) []BatchJob {
+	jobs := make([]BatchJob, len(orders))
+	for i, n := range orders {
+		o := tmpl
+		o.N = n
+		jobs[i] = BatchJob{Options: o}
+	}
+	return jobs
+}

@@ -86,6 +86,9 @@ type Options struct {
 	// Virtual, when true with Walkers > 1, advances walkers in lockstep
 	// virtual time instead of real goroutines — the mode that reproduces
 	// the paper's large-core-count experiments exactly on few cores.
+	// Cancellation works in both modes: real-mode walkers probe ctx every
+	// CheckEvery iterations, and the virtual scheduler probes it between
+	// lockstep rounds; either way Solve returns a partial unsolved Result.
 	Virtual bool
 
 	// Seed is the master seed; runs with equal seeds are reproducible
@@ -134,6 +137,10 @@ type Result struct {
 	TotalIterations int64
 	// WallTime is the real elapsed time.
 	WallTime time.Duration
+	// Cancelled reports that the run was stopped by ctx (cancellation or
+	// deadline) while walkers were still live, rather than solving or
+	// exhausting its budgets; the Result is partial.
+	Cancelled bool
 	// Stats holds per-walker engine counters.
 	Stats []csp.Stats
 }
@@ -267,7 +274,7 @@ func solveWith(ctx context.Context, newModel func() csp.Model, opts Options, ada
 
 	var wres walk.Result
 	if opts.Virtual && opts.Walkers > 1 {
-		wres = walk.Virtual(newModel, cfg, 0)
+		wres = walk.Virtual(ctx, newModel, cfg, 0)
 	} else {
 		wres = walk.Parallel(ctx, newModel, cfg)
 	}
@@ -279,6 +286,7 @@ func solveWith(ctx context.Context, newModel func() csp.Model, opts Options, ada
 		Iterations:      wres.WinnerIterations,
 		TotalIterations: wres.TotalIterations,
 		WallTime:        wres.WallTime,
+		Cancelled:       wres.Cancelled,
 		Stats:           wres.Stats,
 	}, nil
 }

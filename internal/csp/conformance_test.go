@@ -179,3 +179,175 @@ func TestRestartableContract(t *testing.T) {
 		})
 	}
 }
+
+// restartable asserts an engine into csp.Restartable (every method in the
+// repository implements it; TestRestartableContract enforces that).
+func restartable(t *testing.T, e csp.Engine) csp.Restartable {
+	t.Helper()
+	rs, ok := e.(csp.Restartable)
+	if !ok {
+		t.Fatalf("%T does not implement csp.Restartable", e)
+	}
+	return rs
+}
+
+// TestRestartFromInstallsCopyAndRebinds: RestartFrom must copy the given
+// configuration (never alias caller storage) and rebind the model so the
+// engine's Cost reflects it immediately — the invariants the cooperative
+// scheduler and the batch engine pool both rely on.
+func TestRestartFromInstallsCopyAndRebinds(t *testing.T) {
+	const n = 10
+	for engineName, factory := range conformanceEngines() {
+		t.Run(engineName, func(t *testing.T) {
+			e := factory(costas.New(n, costas.Options{}), conformanceSeed)
+			rs := restartable(t, e)
+			e.Step(5)
+
+			cfg := make([]int, n)
+			for i := range cfg {
+				cfg[i] = n - 1 - i // a fixed (non-Costas) permutation
+			}
+			// The cost RestartFrom must expose: the same configuration
+			// bound to an independent model instance.
+			ref := costas.New(n, costas.Options{})
+			ref.Bind(cfg)
+			want := ref.Cost()
+
+			rs.RestartFrom(cfg)
+			if got := e.Cost(); got != want {
+				t.Fatalf("model not rebound: Cost() = %d after RestartFrom, want %d", got, want)
+			}
+
+			// Clobber the caller's slice; an engine that aliased it would
+			// now be computing over garbage.
+			for i := range cfg {
+				cfg[i] = 0
+			}
+			if got := e.Cost(); got != want {
+				t.Fatalf("engine aliases caller storage: Cost() %d → %d after caller mutation", want, got)
+			}
+			if !e.Solve() || !costas.IsCostas(e.Solution()) {
+				t.Fatal("engine did not recover after caller mutated the restart slice")
+			}
+		})
+	}
+}
+
+// TestRestartFromRecomputesSolvedBothWays: restarting onto a solution must
+// mark the engine solved with cost 0, and restarting a solved engine onto
+// a non-solution must clear the flag — the solved state is a function of
+// the installed configuration, not of history.
+func TestRestartFromRecomputesSolvedBothWays(t *testing.T) {
+	const n = 10
+	sol := costas.First(n)
+	bad := make([]int, n)
+	for i := range bad {
+		bad[i] = n - 1 - i
+	}
+	for engineName, factory := range conformanceEngines() {
+		t.Run(engineName, func(t *testing.T) {
+			e := factory(costas.New(n, costas.Options{}), conformanceSeed)
+			rs := restartable(t, e)
+
+			rs.RestartFrom(sol)
+			if !e.Solved() || e.Cost() != 0 {
+				t.Fatalf("restart onto a solution: solved=%v cost=%d", e.Solved(), e.Cost())
+			}
+			got := e.Solution()
+			for i := range sol {
+				if got[i] != sol[i] {
+					t.Fatalf("solved engine does not report the installed solution: %v vs %v", got, sol)
+				}
+			}
+
+			rs.RestartFrom(bad)
+			if e.Solved() {
+				t.Fatal("restart off a solution left the solved flag set")
+			}
+			if e.Cost() == 0 {
+				t.Fatal("non-solution restart reports cost 0")
+			}
+		})
+	}
+}
+
+// TestRestartFromClearsPerRunState: after RestartFrom, the walk must
+// resume as if freshly started from the installed configuration — cleared
+// tabu marks, stall counters and restart clocks. Observable consequence:
+// two same-seed engines that diverge only in how much they ran *before*
+// restarting from the same configuration still make their restart land on
+// identical model state (same cost, same configuration); and restart
+// clocks are re-armed, so an immediate second restart is well-defined and
+// the engine still solves.
+func TestRestartFromClearsPerRunState(t *testing.T) {
+	const n = 10
+	cfg := make([]int, n)
+	for i := range cfg {
+		cfg[i] = (i + 3) % n // a fixed rotation permutation
+	}
+	for engineName, factory := range conformanceEngines() {
+		t.Run(engineName, func(t *testing.T) {
+			short := factory(costas.New(n, costas.Options{}), conformanceSeed)
+			long := factory(costas.New(n, costas.Options{}), conformanceSeed)
+			restartable(t, short).RestartFrom(cfg)
+			long.Step(40) // accumulate tabu marks / stall counters
+			restartable(t, long).RestartFrom(cfg)
+			if short.Cost() != long.Cost() {
+				t.Fatalf("restart state depends on pre-restart history: cost %d vs %d",
+					short.Cost(), long.Cost())
+			}
+
+			// Back-to-back restarts must each count and leave the engine
+			// able to solve — the batch pool re-arms engines repeatedly.
+			e := factory(costas.New(n, costas.Options{}), conformanceSeed)
+			rs := restartable(t, e)
+			for k := 0; k < 3; k++ {
+				rs.RestartFrom(cfg)
+			}
+			if got := e.Stats().Restarts; got < 3 {
+				t.Fatalf("back-to-back restarts undercounted: %d < 3", got)
+			}
+			if !e.Solve() || !costas.IsCostas(e.Solution()) {
+				t.Fatal("engine cannot solve after repeated re-arms")
+			}
+		})
+	}
+}
+
+// TestStatsSubAttributesPerSolveWork: the Stats.Sub delta used by the
+// batch engine pool must attribute exactly the work done since the
+// snapshot, for every engine.
+func TestStatsSubAttributesPerSolveWork(t *testing.T) {
+	const n = 11
+	for engineName, factory := range conformanceEngines() {
+		t.Run(engineName, func(t *testing.T) {
+			e := factory(costas.New(n, costas.Options{}), conformanceSeed)
+			rs := restartable(t, e)
+			if !e.Solve() {
+				t.Fatal("first solve failed")
+			}
+			perm := make([]int, n)
+			for i := range perm {
+				perm[i] = (i * 7) % n // 7 coprime to 11: a permutation
+			}
+			rs.RestartFrom(perm)
+			base := e.Stats()
+			if e.Solved() {
+				t.Skip("restart configuration is improbably a solution")
+			}
+			if !e.Solve() {
+				t.Fatal("second solve failed")
+			}
+			delta := e.Stats().Sub(base)
+			if delta.Iterations <= 0 {
+				t.Fatalf("delta shows no work: %+v", delta)
+			}
+			if total := e.Stats().Iterations; delta.Iterations >= total {
+				t.Fatalf("delta (%d) not smaller than lifetime total (%d)", delta.Iterations, total)
+			}
+			if delta.Restarts != e.Stats().Restarts-base.Restarts {
+				t.Fatalf("Sub is not field-wise: %+v", delta)
+			}
+		})
+	}
+}

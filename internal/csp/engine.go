@@ -33,6 +33,28 @@ type Stats struct {
 	Descents     int64 // greedy descents performed (dialectic)
 }
 
+// Sub returns the counter deltas since a prior snapshot — the per-solve
+// stats of a pooled engine that served earlier solves. Counters are
+// cumulative over an engine's lifetime, so a caller reusing one engine
+// across many walks (see Restartable) snapshots Stats() at the start of
+// each walk and reports Stats().Sub(snapshot) at the end.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Iterations:   s.Iterations - prev.Iterations,
+		Evaluations:  s.Evaluations - prev.Evaluations,
+		LocalMinima:  s.LocalMinima - prev.LocalMinima,
+		Resets:       s.Resets - prev.Resets,
+		Restarts:     s.Restarts - prev.Restarts,
+		Swaps:        s.Swaps - prev.Swaps,
+		PlateauMoves: s.PlateauMoves - prev.PlateauMoves,
+		UphillMoves:  s.UphillMoves - prev.UphillMoves,
+		Moves:        s.Moves - prev.Moves,
+		Aspirations:  s.Aspirations - prev.Aspirations,
+		Rounds:       s.Rounds - prev.Rounds,
+		Descents:     s.Descents - prev.Descents,
+	}
+}
+
 // Engine is one resumable local-search walker over one Model instance.
 // Engines are created solved-aware (a random initial configuration can
 // already be a solution) and are not safe for concurrent use; parallel
@@ -79,10 +101,26 @@ type Engine interface {
 type Factory func(model Model, seed uint64) Engine
 
 // Restartable is implemented by engines that can be restarted from an
-// externally supplied configuration — the hook the cooperative multi-walk
-// (§VI future work) uses to seed restarts from shared crossroads. The
-// engine must install a copy of cfg, rebind its model and clear per-run
-// state (tabu marks, stall counters, restart clocks).
+// externally supplied configuration. Two layers build on the hook:
+//
+//   - the cooperative multi-walk (§VI future work) seeds restarts from
+//     shared crossroads mid-run;
+//   - the batch solving layer (internal/core.SolveBatch) pools engines
+//     across solves on a hot path: instead of allocating a fresh model and
+//     engine per instance, a worker re-arms a compatible cached engine
+//     with RestartFrom(freshRandomPermutation) and attributes per-solve
+//     work via Stats().Sub.
+//
+// The contract RestartFrom must honour (enforced by the conformance suite
+// in this package's tests): install a *copy* of cfg — never alias caller
+// storage — rebind the model so Cost() reflects cfg immediately, count
+// one restart in Stats, recompute the solved flag from the new cost (in
+// both directions: a restart can land on a solution, and a restart off
+// one must clear it), and clear per-run search state (tabu marks, stall
+// counters, restart clocks) so the walk resumes as if freshly started
+// from cfg. Lifetime counters (Stats) and the iteration budget are NOT
+// reset: MaxIterations bounds the engine's total work across restarts,
+// which is why the batch layer only pools engines with unlimited budgets.
 type Restartable interface {
 	Engine
 	RestartFrom(cfg []int)

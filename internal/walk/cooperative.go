@@ -16,8 +16,12 @@ package walk
 // the pool's worst entry (goal 1), and a walker performing a restart
 // draws a crossroad from the pool with probability RestartFromPool
 // instead of a fresh random permutation (goal 2). Everything else is the
-// plain independent multi-walk of §V-A, so the independent scheme is the
-// RestartFromPool = 0 special case.
+// plain multi-walk scheduler of scheduler.go — the crossroads pool is a
+// communication policy plugged into its boundary hook, so the independent
+// scheme is the RestartFromPool = 0 special case, and both execution
+// modes come for free: Cooperative runs the deterministic lockstep
+// simulator (multi-threaded across MaxParallelism workers), and
+// CooperativeParallel runs real goroutines.
 //
 // Like the independent runner, the scheme is engine-generic: any method
 // whose engines implement csp.Restartable (all four in this repository
@@ -29,9 +33,10 @@ package walk
 // bench_test.go and the walk tests for behaviour).
 
 import (
+	"context"
 	"sort"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"repro/internal/csp"
 	"repro/internal/rng"
@@ -50,9 +55,11 @@ type CoopConfig struct {
 	PoolSize int
 
 	// RestartFromPool is the probability that a walker's restart resumes
-	// from a pooled crossroad instead of a fresh random configuration
-	// (default 0.5; 0 reduces to independent multi-walk).
-	RestartFromPool float64
+	// from a pooled crossroad instead of a fresh random configuration.
+	// nil means the default 0.5; an explicit 0 (&zero) reduces the scheme
+	// to independent multi-walk with scheduler-side restarts — the pool
+	// still records crossroads but never seeds from them.
+	RestartFromPool *float64
 
 	// OfferThreshold: a walker offers its configuration to the pool when
 	// its cost is below bestKnown × OfferThreshold (default 1.25) — the
@@ -69,8 +76,9 @@ func (c CoopConfig) withDefaults(n int) CoopConfig {
 	if c.PoolSize <= 0 {
 		c.PoolSize = 8
 	}
-	if c.RestartFromPool == 0 {
-		c.RestartFromPool = 0.5
+	if c.RestartFromPool == nil {
+		p := 0.5
+		c.RestartFromPool = &p
 	}
 	if c.OfferThreshold == 0 {
 		c.OfferThreshold = 1.25
@@ -148,7 +156,7 @@ func (p *crossroadPool) size() int {
 // CoopResult extends Result with communication counters.
 type CoopResult struct {
 	Result
-	Offers      int64 // configurations offered to the pool
+	Offers      int64 // configurations actually offered to the pool
 	Accepted    int64 // offers retained
 	PoolRestart int64 // restarts seeded from the pool
 
@@ -158,6 +166,77 @@ type CoopResult struct {
 	// enabled, competing with the scheduler's pool seeding — the knob
 	// callers should watch when wiring a new factory.
 	EngineRestarts int64
+}
+
+// coopPolicy is the crossroads-pool communication policy plugged into the
+// scheduler's boundary hook. The pool is mutex-protected and the counters
+// are atomic, so the same policy value serves both execution modes; the
+// per-walker state (RNG, restart clock) is only ever touched by the one
+// goroutine driving that walker.
+type coopPolicy struct {
+	quantum         int
+	poolSize        int
+	offerThreshold  float64
+	restartEvery    int64
+	restartFromPool float64
+
+	pool     *crossroadPool
+	rngs     []*rng.RNG
+	sinceRst []int64
+
+	offers        atomic.Int64
+	accepted      atomic.Int64
+	poolRestarts  atomic.Int64
+	schedRestarts atomic.Int64
+}
+
+func newCoopPolicy(cfg CoopConfig, seeds []uint64) *coopPolicy {
+	p := &coopPolicy{
+		quantum:         cfg.CheckEvery,
+		poolSize:        cfg.PoolSize,
+		offerThreshold:  cfg.OfferThreshold,
+		restartEvery:    cfg.RestartEvery,
+		restartFromPool: *cfg.RestartFromPool,
+		pool:            newCrossroadPool(cfg.PoolSize),
+		rngs:            make([]*rng.RNG, len(seeds)),
+		sinceRst:        make([]int64, len(seeds)),
+	}
+	for i, s := range seeds {
+		p.rngs[i] = rng.New(s ^ 0xD1B54A32D192ED03)
+	}
+	return p
+}
+
+// boundary implements the policy hook: offer interesting crossroads
+// (goal 2's "recording") and perform scheduler-driven restarts with pool
+// seeding. Offers is counted only when a configuration passes the
+// interestingness filter and is actually offered to the pool — quantum
+// boundaries that offer nothing cost no communication at all (goal 1).
+func (p *coopPolicy) boundary(i int, e csp.Engine) bool {
+	p.sinceRst[i] += int64(p.quantum)
+
+	cost := e.Cost()
+	if float64(cost) <= p.offerThreshold*float64(p.pool.bestCost()) || p.pool.size() < p.poolSize {
+		p.offers.Add(1)
+		if p.pool.offer(e.Solution(), cost) {
+			p.accepted.Add(1)
+		}
+	}
+
+	rs, restartable := e.(csp.Restartable)
+	if restartable && p.sinceRst[i] >= p.restartEvery {
+		p.sinceRst[i] = 0
+		cfgSlice := e.Solution() // correctly sized scratch copy
+		if p.rngs[i].Float64() < p.restartFromPool && p.pool.sample(cfgSlice, p.rngs[i]) {
+			p.poolRestarts.Add(1)
+		} else {
+			p.rngs[i].PermInto(cfgSlice)
+		}
+		rs.RestartFrom(cfgSlice)
+		p.schedRestarts.Add(1)
+		return e.Solved()
+	}
+	return false
 }
 
 // Cooperative runs the dependent multi-walk in lockstep virtual time (the
@@ -170,106 +249,52 @@ type CoopResult struct {
 // implement csp.Restartable simply never restart (the scheduler cannot
 // intercept their trajectory), so factories should disable their internal
 // restart policies to hand control to the scheduler.
-func Cooperative(newModel func() csp.Model, cfg CoopConfig, maxVirtualIterations int64) CoopResult {
+//
+// The lockstep rounds are sharded across MaxParallelism workers while the
+// pool communication runs between rounds in walker order, so results are
+// deterministic for a given master seed whatever the worker count.
+// Cancelling ctx stops the run at the next round boundary with a partial
+// result.
+//
+// maxVirtualIterations bounds each walker's virtual time (0 = unlimited).
+func Cooperative(ctx context.Context, newModel func() csp.Model, cfg CoopConfig, maxVirtualIterations int64) CoopResult {
+	return cooperative(ctx, newModel, cfg, maxVirtualIterations, modeLockstep)
+}
+
+// CooperativeParallel runs the dependent multi-walk on real goroutines —
+// the wall-clock counterpart of Cooperative, as Parallel is of Virtual.
+// Pool communication happens concurrently (the pool is mutex-protected),
+// so the winner is nondeterministic like Parallel's; the engines' own
+// iteration budgets and ctx bound the run.
+func CooperativeParallel(ctx context.Context, newModel func() csp.Model, cfg CoopConfig) CoopResult {
+	return cooperative(ctx, newModel, cfg, 0, modeReal)
+}
+
+// cooperative is the shared wrapper of both cooperative modes: build the
+// engines and the crossroads policy, hand them to the scheduler core, and
+// repackage the communication counters.
+func cooperative(ctx context.Context, newModel func() csp.Model, cfg CoopConfig, maxVirtualIterations int64, m runMode) CoopResult {
 	probe := newModel()
 	cfg = cfg.withDefaults(probe.Size())
-	start := time.Now()
 
-	seeds := rng.NewChaoticSeeder(cfg.MasterSeed).Seeds(cfg.Walkers)
-	walkers := make([]*coopWalker, cfg.Walkers)
-	for i := range walkers {
-		m := newModel()
-		walkers[i] = &coopWalker{
-			engine: cfg.factoryFor(i)(m, seeds[i]),
-			r:      rng.New(seeds[i] ^ 0xD1B54A32D192ED03),
-		}
+	engines, seeds := newEngines(newModel, cfg.Config)
+	pol := newCoopPolicy(cfg, seeds)
+
+	res := CoopResult{
+		Result: run(ctx, engines, schedule{
+			mode:       m,
+			quantum:    cfg.CheckEvery,
+			workers:    cfg.MaxParallelism,
+			maxVirtual: maxVirtualIterations,
+			policy:     pol,
+		}),
 	}
-
-	pool := newCrossroadPool(cfg.PoolSize)
-	res := CoopResult{}
-	var virtualTime, schedulerRestarts int64
-
-	for {
-		solvedAny := false
-		for _, w := range walkers {
-			if w.engine.Solved() || w.engine.Exhausted() {
-				continue
-			}
-			if w.engine.Step(cfg.CheckEvery) {
-				solvedAny = true
-				continue
-			}
-			w.sinceRst += int64(cfg.CheckEvery)
-
-			// Offer interesting crossroads (goal 2's "recording").
-			cost := w.engine.Cost()
-			res.Offers++
-			if float64(cost) <= cfg.OfferThreshold*float64(pool.bestCost()) || pool.size() < cfg.PoolSize {
-				if pool.offer(w.engine.Solution(), cost) {
-					res.Accepted++
-				}
-			}
-
-			// Scheduler-driven restart with pool seeding.
-			rs, restartable := w.engine.(csp.Restartable)
-			if restartable && w.sinceRst >= cfg.RestartEvery {
-				w.sinceRst = 0
-				cfgSlice := w.engine.Solution() // correctly sized scratch copy
-				if w.r.Float64() < cfg.RestartFromPool && pool.sample(cfgSlice, w.r) {
-					res.PoolRestart++
-				} else {
-					w.r.PermInto(cfgSlice)
-				}
-				rs.RestartFrom(cfgSlice)
-				schedulerRestarts++
-				if w.engine.Solved() {
-					solvedAny = true
-				}
-			}
-		}
-		virtualTime += int64(cfg.CheckEvery)
-
-		if solvedAny || allDone(walkers) {
-			break
-		}
-		if maxVirtualIterations > 0 && virtualTime >= maxVirtualIterations {
-			break
-		}
-	}
-
-	engines := make([]csp.Engine, len(walkers))
-	for i, w := range walkers {
-		engines[i] = w.engine
-	}
-	winner := -1
-	var best int64
-	for i, e := range engines {
-		if e.Solved() {
-			if it := e.Stats().Iterations; winner == -1 || it < best {
-				winner, best = i, it
-			}
-		}
-	}
-	res.Result = collect(engines, winner, start)
+	res.Offers = pol.offers.Load()
+	res.Accepted = pol.accepted.Load()
+	res.PoolRestart = pol.poolRestarts.Load()
 	for _, s := range res.Stats {
 		res.EngineRestarts += s.Restarts
 	}
-	res.EngineRestarts -= schedulerRestarts
+	res.EngineRestarts -= pol.schedRestarts.Load()
 	return res
-}
-
-// coopWalker is one cooperative walker's private state.
-type coopWalker struct {
-	engine   csp.Engine
-	r        *rng.RNG
-	sinceRst int64
-}
-
-func allDone(walkers []*coopWalker) bool {
-	for _, w := range walkers {
-		if !w.engine.Solved() && !w.engine.Exhausted() {
-			return false
-		}
-	}
-	return true
 }

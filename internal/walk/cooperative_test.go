@@ -1,6 +1,7 @@
 package walk
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/adaptive"
@@ -19,7 +20,7 @@ func coopConfig(n, walkers int, seed uint64) CoopConfig {
 }
 
 func TestCooperativeSolves(t *testing.T) {
-	res := Cooperative(capFactory(13), coopConfig(13, 8, 3), 0)
+	res := Cooperative(context.Background(), capFactory(13), coopConfig(13, 8, 3), 0)
 	if !res.Solved {
 		t.Fatalf("cooperative run unsolved: %v", res.Result)
 	}
@@ -29,8 +30,8 @@ func TestCooperativeSolves(t *testing.T) {
 }
 
 func TestCooperativeDeterministic(t *testing.T) {
-	r1 := Cooperative(capFactory(12), coopConfig(12, 8, 7), 0)
-	r2 := Cooperative(capFactory(12), coopConfig(12, 8, 7), 0)
+	r1 := Cooperative(context.Background(), capFactory(12), coopConfig(12, 8, 7), 0)
+	r2 := Cooperative(context.Background(), capFactory(12), coopConfig(12, 8, 7), 0)
 	if r1.WinnerIterations != r2.WinnerIterations || r1.Winner != r2.Winner {
 		t.Fatalf("cooperative mode not reproducible: (%d,%d) vs (%d,%d)",
 			r1.Winner, r1.WinnerIterations, r2.Winner, r2.WinnerIterations)
@@ -41,8 +42,9 @@ func TestCooperativeZeroProbIsIndependent(t *testing.T) {
 	// With RestartFromPool ≈ 0 the scheme must still solve (it degenerates
 	// to independent multi-walk with scheduler-side restarts).
 	cfg := coopConfig(12, 4, 5)
-	cfg.RestartFromPool = -1 // Float64() < -1 is never true
-	res := Cooperative(capFactory(12), cfg, 0)
+	zero := 0.0
+	cfg.RestartFromPool = &zero // explicit 0: never seed restarts from the pool
+	res := Cooperative(context.Background(), capFactory(12), cfg, 0)
 	if !res.Solved {
 		t.Fatal("independent-degenerate cooperative run unsolved")
 	}
@@ -55,7 +57,7 @@ func TestCooperativeCommunicationCounters(t *testing.T) {
 	// On an instance hard enough to need restarts, the pool must see
 	// offers and some accepted entries.
 	cfg := coopConfig(15, 8, 11)
-	res := Cooperative(capFactory(15), cfg, 0)
+	res := Cooperative(context.Background(), capFactory(15), cfg, 0)
 	if !res.Solved {
 		t.Fatal("unsolved")
 	}
@@ -72,7 +74,7 @@ func TestCooperativeSchedulerOwnsRestarts(t *testing.T) {
 	// restart is scheduler-issued, so EngineRestarts must be zero; a
 	// factory with the engine's own restart policy left on must show up
 	// in the counter.
-	res := Cooperative(capFactory(15), coopConfig(15, 8, 11), 0)
+	res := Cooperative(context.Background(), capFactory(15), coopConfig(15, 8, 11), 0)
 	if !res.Solved {
 		t.Fatal("unsolved")
 	}
@@ -82,7 +84,7 @@ func TestCooperativeSchedulerOwnsRestarts(t *testing.T) {
 
 	leaky := coopConfig(14, 4, 3)
 	leaky.Factory = adaptive.Factory(costas.TunedParams(14)) // RestartLimit left on
-	lres := Cooperative(capFactory(14), leaky, 0)
+	lres := Cooperative(context.Background(), capFactory(14), leaky, 0)
 	var total int64
 	for _, s := range lres.Stats {
 		total += s.Restarts
@@ -93,7 +95,7 @@ func TestCooperativeSchedulerOwnsRestarts(t *testing.T) {
 }
 
 func TestCooperativeBudgetStops(t *testing.T) {
-	res := Cooperative(capFactory(18), coopConfig(18, 4, 1), 256)
+	res := Cooperative(context.Background(), capFactory(18), coopConfig(18, 4, 1), 256)
 	if res.Solved {
 		t.Skip("improbably lucky run")
 	}
@@ -111,7 +113,7 @@ func TestCooperativePortfolio(t *testing.T) {
 	p := costas.TunedParams(12)
 	p.RestartLimit = -1
 	cfg.Portfolio = append(cfg.Portfolio, adaptive.Factory(p), tabu.Factory(tabu.Params{}))
-	res := Cooperative(capFactory(12), cfg, 0)
+	res := Cooperative(context.Background(), capFactory(12), cfg, 0)
 	if !res.Solved || !costas.IsCostas(res.Solution) {
 		t.Fatalf("portfolio cooperative run failed: %+v", res.Result)
 	}
@@ -162,7 +164,7 @@ func TestCrossroadPoolCopiesConfigs(t *testing.T) {
 
 func TestCooperativeVsVirtualSameInterface(t *testing.T) {
 	// The extension must be a drop-in: same Result surface, valid stats.
-	res := Cooperative(capFactory(12), coopConfig(12, 4, 9), 0)
+	res := Cooperative(context.Background(), capFactory(12), coopConfig(12, 4, 9), 0)
 	var sum int64
 	for _, s := range res.Stats {
 		sum += s.Iterations
@@ -172,5 +174,113 @@ func TestCooperativeVsVirtualSameInterface(t *testing.T) {
 	}
 	if res.String() == "" {
 		t.Fatal("empty result string")
+	}
+}
+
+func TestCoopConfigZeroProbSurvivesDefaults(t *testing.T) {
+	// Regression: withDefaults used to rewrite RestartFromPool == 0 to the
+	// 0.5 default, making the documented "0 reduces to independent
+	// multi-walk" unreachable. With the pointer field, nil means the
+	// default and an explicit &0 stays 0.
+	zero := 0.0
+	cfg := CoopConfig{RestartFromPool: &zero}.withDefaults(12)
+	if *cfg.RestartFromPool != 0 {
+		t.Fatalf("explicit 0 rewritten to %v", *cfg.RestartFromPool)
+	}
+	def := CoopConfig{}.withDefaults(12)
+	if def.RestartFromPool == nil || *def.RestartFromPool != 0.5 {
+		t.Fatalf("nil did not default to 0.5: %v", def.RestartFromPool)
+	}
+}
+
+func TestCooperativeOffersCountActualOffersOnly(t *testing.T) {
+	// Regression: Offers used to count every quantum boundary, not actual
+	// pool offers. With a tiny pool and a strict interestingness filter,
+	// offers must be far rarer than quantum boundaries.
+	cfg := coopConfig(15, 8, 11)
+	cfg.PoolSize = 1
+	cfg.OfferThreshold = 0.01 // only near-best configurations qualify
+	res := Cooperative(context.Background(), capFactory(15), cfg, 0)
+	boundaries := res.TotalIterations / int64(64) // CheckEvery default
+	if boundaries < 10 {
+		t.Skip("run too short to distinguish offers from boundaries")
+	}
+	if res.Offers*2 > boundaries {
+		t.Fatalf("Offers (%d) tracks quantum boundaries (%d), not actual offers",
+			res.Offers, boundaries)
+	}
+	if res.Accepted > res.Offers {
+		t.Fatalf("accepted %d > offers %d", res.Accepted, res.Offers)
+	}
+}
+
+func TestCooperativeDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The multi-threaded lockstep mode shards engine quanta across workers
+	// but serialises pool communication in walker order between rounds, so
+	// the full outcome — winner, makespan, pool counters — must not depend
+	// on MaxParallelism.
+	run := func(workers int) CoopResult {
+		cfg := coopConfig(13, 8, 17)
+		cfg.MaxParallelism = workers
+		return Cooperative(context.Background(), capFactory(13), cfg, 0)
+	}
+	r1 := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		r := run(workers)
+		if r.Winner != r1.Winner || r.WinnerIterations != r1.WinnerIterations ||
+			r.Offers != r1.Offers || r.Accepted != r1.Accepted || r.PoolRestart != r1.PoolRestart {
+			t.Fatalf("workers=%d diverges from single-threaded lockstep:\n got %+v\nwant %+v",
+				workers, r, r1)
+		}
+	}
+}
+
+func TestCooperativeParallelSolves(t *testing.T) {
+	// The real-goroutine cooperative mode: same config surface, wall-clock
+	// concurrency, mutex-protected pool.
+	res := CooperativeParallel(context.Background(), capFactory(13), coopConfig(13, 8, 3))
+	if !res.Solved {
+		t.Fatalf("cooperative parallel run unsolved: %v", res.Result)
+	}
+	if !costas.IsCostas(res.Solution) {
+		t.Fatalf("invalid solution %v", res.Solution)
+	}
+	if res.Winner < 0 || res.Winner >= 8 {
+		t.Fatalf("winner index %d out of range", res.Winner)
+	}
+}
+
+func TestCooperativeContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // pre-cancelled: zero lockstep rounds
+	res := Cooperative(ctx, capFactory(18), coopConfig(18, 4, 1), 0)
+	if res.Solved {
+		t.Skip("improbably lucky run")
+	}
+	if res.Winner != -1 {
+		t.Fatalf("cancelled run has winner %d", res.Winner)
+	}
+	if !res.Cancelled {
+		t.Fatal("ctx-stopped cooperative run not flagged Cancelled")
+	}
+	for i, s := range res.Stats {
+		if s.Iterations != 0 {
+			t.Fatalf("walker %d stepped %d iterations after pre-cancel", i, s.Iterations)
+		}
+	}
+}
+
+func TestCooperativeParallelContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := coopConfig(20, 2, 1)
+	res := CooperativeParallel(ctx, capFactory(20), cfg)
+	if res.Solved {
+		t.Skip("improbably lucky run")
+	}
+	for i, s := range res.Stats {
+		if s.Iterations > 10*64 {
+			t.Fatalf("walker %d ignored cancellation: %d iterations", i, s.Iterations)
+		}
 	}
 }

@@ -10,7 +10,8 @@
 // of K i.i.d. sequential runtimes; with (near-)exponential runtime
 // distributions this yields the near-linear speed-ups of Tables III–V.
 //
-// Two execution modes are provided:
+// All run modes are thin wrappers over one scheduler core (scheduler.go)
+// parameterised by execution mode and an optional communication policy:
 //
 //   - Parallel: real concurrency, one goroutine per walker (up to
 //     GOMAXPROCS effective hardware parallelism). Each walker checks a
@@ -26,14 +27,21 @@
 //     calibrated iteration rate (internal/cluster). Conveniently the
 //     simulation costs roughly one sequential solve in total work: the
 //     winner's iteration count shrinks like 1/K while K walkers advance.
+//
+//   - Cooperative / CooperativeParallel (cooperative.go): the dependent
+//     scheme of §VI — the same two modes with a crossroads-pool
+//     communication policy plugged into the scheduler.
+//
+// Every mode honours context cancellation and deadlines: a cancelled run
+// stops promptly (within one probe quantum per walker in real mode, one
+// lockstep round in virtual mode) and returns a partial Result with
+// Winner == −1 and all per-walker Stats filled in.
 package walk
 
 import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/csp"
@@ -98,14 +106,16 @@ func (c Config) factoryFor(i int) csp.Factory {
 	return c.Factory
 }
 
-// newEngines builds the walker engines with chaotically-derived seeds.
-func newEngines(newModel func() csp.Model, cfg Config) []csp.Engine {
+// newEngines builds the walker engines with chaotically-derived seeds,
+// returning the per-walker seeds alongside them (the cooperative policy
+// derives its per-walker RNG streams from the same seeds).
+func newEngines(newModel func() csp.Model, cfg Config) ([]csp.Engine, []uint64) {
 	seeds := rng.NewChaoticSeeder(cfg.MasterSeed).Seeds(cfg.Walkers)
 	engines := make([]csp.Engine, cfg.Walkers)
 	for i := range engines {
 		engines[i] = cfg.factoryFor(i)(newModel(), seeds[i])
 	}
-	return engines
+	return engines, seeds
 }
 
 // Result reports the outcome of a multi-walk run.
@@ -125,6 +135,12 @@ type Result struct {
 	// WallTime is the real elapsed time of the call.
 	WallTime time.Duration
 
+	// Cancelled reports that the run stopped because ctx was cancelled
+	// (or its deadline passed) while walkers were still live — as opposed
+	// to solving or exhausting every iteration budget. The Result is then
+	// partial: Winner is −1 and Stats shows how far each walker got.
+	Cancelled bool
+
 	// Stats holds each walker's final counters.
 	Stats []csp.Stats
 }
@@ -137,148 +153,32 @@ type Result struct {
 // invoked once per walker.
 func Parallel(ctx context.Context, newModel func() csp.Model, cfg Config) Result {
 	cfg = cfg.withDefaults()
-	start := time.Now()
-
-	engines := newEngines(newModel, cfg)
-
-	var (
-		done      atomic.Bool
-		winnerIdx atomic.Int64
-	)
-	winnerIdx.Store(-1)
-
-	// A random initial configuration can already be a solution (always for
-	// n ≤ 2); workers skip solved engines, so detect this up front.
-	for i, e := range engines {
-		if e.Solved() {
-			return collect(engines, i, start)
-		}
-	}
-
-	// Bound real concurrency: a semaphore of MaxParallelism slots would
-	// serialise excess walkers entirely, which distorts the "all walkers
-	// advance together" model; instead shard walkers across workers, each
-	// worker round-robining its shard — the same fairness the MPI version
-	// gets from the OS scheduler.
-	workers := cfg.MaxParallelism
-	if workers > cfg.Walkers {
-		workers = cfg.Walkers
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for !done.Load() {
-				progress := false
-				for i := w; i < cfg.Walkers; i += workers {
-					e := engines[i]
-					if e.Solved() || e.Exhausted() {
-						continue
-					}
-					progress = true
-					if e.Step(cfg.CheckEvery) {
-						if winnerIdx.CompareAndSwap(-1, int64(i)) {
-							done.Store(true)
-						}
-						return
-					}
-					if done.Load() || ctx.Err() != nil {
-						return
-					}
-				}
-				if !progress {
-					return // shard fully exhausted
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	return collect(engines, int(winnerIdx.Load()), start)
+	engines, _ := newEngines(newModel, cfg)
+	return run(ctx, engines, schedule{
+		mode:    modeReal,
+		quantum: cfg.CheckEvery,
+		workers: cfg.MaxParallelism,
+	})
 }
 
 // Virtual advances K walker engines in lockstep quanta of CheckEvery
 // iterations of virtual time and returns when the first walker solves. The
 // returned WinnerIterations is exactly the makespan a K-core machine would
 // observe (in iterations); convert to seconds with a cluster.Platform rate.
+// Results are deterministic for a given master seed whatever
+// MaxParallelism is; cancelling ctx stops the run at the next round
+// boundary with a partial Result.
 //
 // maxVirtualIterations bounds each walker's virtual time (0 = unlimited).
-func Virtual(newModel func() csp.Model, cfg Config, maxVirtualIterations int64) Result {
+func Virtual(ctx context.Context, newModel func() csp.Model, cfg Config, maxVirtualIterations int64) Result {
 	cfg = cfg.withDefaults()
-	start := time.Now()
-
-	engines := newEngines(newModel, cfg)
-
-	// A random initial configuration can already be a solution (always for
-	// n ≤ 2); the lockstep rounds skip solved engines, so without this
-	// up-front check such a run would spin forever.
-	for i, e := range engines {
-		if e.Solved() {
-			return collect(engines, i, start)
-		}
-	}
-
-	workers := cfg.MaxParallelism
-	if workers > cfg.Walkers {
-		workers = cfg.Walkers
-	}
-
-	var virtualTime int64
-	var anySolved atomic.Bool
-	var wg sync.WaitGroup
-	for {
-		// One lockstep round: every live walker advances CheckEvery
-		// iterations, sharded across the worker pool with a barrier.
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for i := w; i < cfg.Walkers; i += workers {
-					e := engines[i]
-					if e.Solved() || e.Exhausted() {
-						continue
-					}
-					if e.Step(cfg.CheckEvery) {
-						anySolved.Store(true)
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
-		virtualTime += int64(cfg.CheckEvery)
-
-		if anySolved.Load() {
-			// The winner is the walker that solved at the lowest virtual
-			// time; within this round several may have solved — compare
-			// exact per-walker iteration counts.
-			winner := -1
-			var best int64
-			for i, e := range engines {
-				if !e.Solved() {
-					continue
-				}
-				if it := e.Stats().Iterations; winner == -1 || it < best {
-					winner, best = i, it
-				}
-			}
-			return collect(engines, winner, start)
-		}
-		if maxVirtualIterations > 0 && virtualTime >= maxVirtualIterations {
-			return collect(engines, -1, start)
-		}
-		// All walkers exhausted their budgets?
-		allDead := true
-		for _, e := range engines {
-			if !e.Exhausted() {
-				allDead = false
-				break
-			}
-		}
-		if allDead {
-			return collect(engines, -1, start)
-		}
-	}
+	engines, _ := newEngines(newModel, cfg)
+	return run(ctx, engines, schedule{
+		mode:       modeLockstep,
+		quantum:    cfg.CheckEvery,
+		workers:    cfg.MaxParallelism,
+		maxVirtual: maxVirtualIterations,
+	})
 }
 
 // collect assembles a Result from finished engines.

@@ -3,6 +3,7 @@ package walk
 import (
 	"context"
 	"testing"
+	"time"
 
 	"repro/internal/adaptive"
 	"repro/internal/costas"
@@ -76,7 +77,7 @@ func TestParallelHonoursExhaustion(t *testing.T) {
 
 func TestVirtualSolvesAndIsDeterministic(t *testing.T) {
 	run := func() Result {
-		return Virtual(capFactory(13), capConfig(13, 16, 99), 0)
+		return Virtual(context.Background(), capFactory(13), capConfig(13, 16, 99), 0)
 	}
 	r1 := run()
 	r2 := run()
@@ -93,7 +94,7 @@ func TestVirtualSolvesAndIsDeterministic(t *testing.T) {
 }
 
 func TestVirtualWinnerIsMinimal(t *testing.T) {
-	res := Virtual(capFactory(12), capConfig(12, 32, 5), 0)
+	res := Virtual(context.Background(), capFactory(12), capConfig(12, 32, 5), 0)
 	if !res.Solved {
 		t.Fatal("unsolved")
 	}
@@ -116,8 +117,8 @@ func TestVirtualMoreWalkersFasterVirtualTime(t *testing.T) {
 	// robust to noise).
 	var sum1, sum64 int64
 	for seed := uint64(0); seed < 5; seed++ {
-		r1 := Virtual(capFactory(13), capConfig(13, 1, seed), 0)
-		r64 := Virtual(capFactory(13), capConfig(13, 64, seed), 0)
+		r1 := Virtual(context.Background(), capFactory(13), capConfig(13, 1, seed), 0)
+		r64 := Virtual(context.Background(), capFactory(13), capConfig(13, 64, seed), 0)
 		if !r1.Solved || !r64.Solved {
 			t.Fatal("unsolved virtual run")
 		}
@@ -131,9 +132,12 @@ func TestVirtualMoreWalkersFasterVirtualTime(t *testing.T) {
 
 func TestVirtualBudgetStops(t *testing.T) {
 	cfg := capConfig(18, 4, 7)
-	res := Virtual(capFactory(18), cfg, 128) // two rounds of virtual time
+	res := Virtual(context.Background(), capFactory(18), cfg, 128) // two rounds of virtual time
 	if res.Solved {
 		t.Skip("improbably lucky run")
+	}
+	if res.Cancelled {
+		t.Fatal("virtual-budget stop mislabelled as ctx cancellation")
 	}
 	for i, s := range res.Stats {
 		if s.Iterations > 192 {
@@ -146,7 +150,7 @@ func TestVirtualTrivialInstanceReturns(t *testing.T) {
 	// n ≤ 2 instances are solved at engine construction; Virtual must
 	// detect that up front instead of spinning lockstep rounds forever.
 	for _, n := range []int{1, 2} {
-		res := Virtual(capFactory(n), capConfig(n, 2, 1), 0)
+		res := Virtual(context.Background(), capFactory(n), capConfig(n, 2, 1), 0)
 		if !res.Solved || !costas.IsCostas(res.Solution) {
 			t.Fatalf("n=%d trivial virtual run failed: %v", n, res)
 		}
@@ -173,7 +177,7 @@ func TestConfigRequiresFactory(t *testing.T) {
 }
 
 func TestResultString(t *testing.T) {
-	res := Virtual(capFactory(10), capConfig(10, 2, 1), 0)
+	res := Virtual(context.Background(), capFactory(10), capConfig(10, 2, 1), 0)
 	if res.String() == "" {
 		t.Fatal("empty result string")
 	}
@@ -216,14 +220,14 @@ func TestParallelShardingMoreWalkersThanWorkers(t *testing.T) {
 func TestVirtualWorkerPoolSharding(t *testing.T) {
 	cfg := capConfig(12, 16, 22)
 	cfg.MaxParallelism = 3
-	res := Virtual(capFactory(12), cfg, 0)
+	res := Virtual(context.Background(), capFactory(12), cfg, 0)
 	if !res.Solved || len(res.Stats) != 16 {
 		t.Fatalf("sharded virtual run failed: %v", res)
 	}
 }
 
 func TestTotalIterationsAggregates(t *testing.T) {
-	res := Virtual(capFactory(12), capConfig(12, 8, 3), 0)
+	res := Virtual(context.Background(), capFactory(12), capConfig(12, 8, 3), 0)
 	var sum int64
 	for _, s := range res.Stats {
 		sum += s.Iterations
@@ -257,7 +261,7 @@ func TestParallelPortfolioMixesMethods(t *testing.T) {
 }
 
 func TestVirtualPortfolioDeterministic(t *testing.T) {
-	run := func() Result { return Virtual(capFactory(11), portfolioConfig(11, 6, 8), 0) }
+	run := func() Result { return Virtual(context.Background(), capFactory(11), portfolioConfig(11, 6, 8), 0) }
 	r1, r2 := run(), run()
 	if !r1.Solved || r1.Winner != r2.Winner || r1.WinnerIterations != r2.WinnerIterations {
 		t.Fatalf("portfolio virtual mode not deterministic: (%d,%d) vs (%d,%d)",
@@ -275,9 +279,65 @@ func TestVirtualSingleMethodEngines(t *testing.T) {
 		"hillclimb": hillclimb.Factory(hillclimb.Params{}),
 	} {
 		cfg := Config{Walkers: 4, Factory: factory, MasterSeed: 9}
-		res := Virtual(capFactory(10), cfg, 0)
+		res := Virtual(context.Background(), capFactory(10), cfg, 0)
 		if !res.Solved || !costas.IsCostas(res.Solution) {
 			t.Fatalf("%s multi-walk failed: %v", name, res)
+		}
+	}
+}
+
+func TestVirtualContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // pre-cancelled: the lockstep loop must run zero rounds
+	cfg := capConfigMaxIter(20, 4, 1, 1<<40)
+	res := Virtual(ctx, capFactory(20), cfg, 0)
+	if res.Solved {
+		t.Skip("improbably lucky run")
+	}
+	if res.Winner != -1 {
+		t.Fatalf("cancelled run has winner %d", res.Winner)
+	}
+	if !res.Cancelled {
+		t.Fatal("ctx-stopped run not flagged Cancelled")
+	}
+	for i, s := range res.Stats {
+		if s.Iterations != 0 {
+			t.Fatalf("walker %d stepped %d iterations after pre-cancel", i, s.Iterations)
+		}
+	}
+}
+
+func TestVirtualDeadlineStopsMidRun(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	cfg := capConfigMaxIter(22, 4, 1, 1<<40) // effectively unsolvable in 50ms
+	start := time.Now()
+	res := Virtual(ctx, capFactory(22), cfg, 0)
+	if res.Solved {
+		t.Skip("improbably lucky run")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline ignored: ran %v", elapsed)
+	}
+	if len(res.Stats) != 4 {
+		t.Fatal("partial result lost walker stats")
+	}
+}
+
+func TestVirtualDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The lockstep scheduler shards quanta across workers but keeps the
+	// round barrier, so the winner and makespan must not depend on
+	// MaxParallelism.
+	base := capConfig(13, 16, 77)
+	base.MaxParallelism = 1
+	r1 := Virtual(context.Background(), capFactory(13), base, 0)
+	for _, workers := range []int{2, 5, 16} {
+		cfg := capConfig(13, 16, 77)
+		cfg.MaxParallelism = workers
+		r := Virtual(context.Background(), capFactory(13), cfg, 0)
+		if r.Winner != r1.Winner || r.WinnerIterations != r1.WinnerIterations {
+			t.Fatalf("workers=%d diverges: (%d,%d) vs (%d,%d)",
+				workers, r.Winner, r.WinnerIterations, r1.Winner, r1.WinnerIterations)
 		}
 	}
 }
