@@ -14,6 +14,9 @@
 //	costas -n 12 -method cp               # complete CP search (no multi-walk)
 //	costas -batch 12,13,14                # solve a batch of orders concurrently
 //	costas -batch 14,15 -count 10 -reuse  # 10 solves per order, pooled engines
+//	costas -model "nqueens n=64"          # any registered model via the registry
+//	costas -model "magicsquare k=5 method=tabu walkers=4"
+//	costas -models                        # list the model catalogue
 //
 // The exit status is 0 on success and 1 if the instance (or any batch
 // job) was not solved within the given budget.
@@ -33,6 +36,7 @@ import (
 	"repro/internal/costas"
 	"repro/internal/cp"
 	"repro/internal/csp"
+	"repro/internal/registry"
 )
 
 func main() {
@@ -54,8 +58,21 @@ func main() {
 		count     = flag.Int("count", 1, "solves per batch order (batch mode only)")
 		jobs      = flag.Int("jobs", 0, "concurrent batch jobs (0 = GOMAXPROCS)")
 		reuse     = flag.Bool("reuse", false, "pool engines across compatible batch jobs (hot path)")
+		model     = flag.String("model", "", `registry run spec, e.g. "nqueens n=64 method=tabu" (overrides -n)`)
+		models    = flag.Bool("models", false, "list the registered models and exit")
 	)
 	flag.Parse()
+
+	if *models {
+		for _, e := range registry.All() {
+			fmt.Printf("%-12s %s\n", e.Name, e.Description)
+			for _, p := range e.Params {
+				fmt.Printf("             %s: %s (default %d, min %d)\n", p.Name, p.Description, p.Default, p.Min)
+			}
+		}
+		fmt.Printf("spec option keys: %s\n", strings.Join(core.OptionKeys(), ", "))
+		return
+	}
 
 	methodSet, solverSet := false, false
 	flag.Visit(func(f *flag.Flag) {
@@ -89,6 +106,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-batch is a search mode; -construct does not support it")
 			os.Exit(2)
 		}
+		if *model != "" {
+			fmt.Fprintln(os.Stderr, "-model is a search mode; -construct does not support it")
+			os.Exit(2)
+		}
 		arr := core.Construct(*n)
 		if arr == nil {
 			fmt.Fprintf(os.Stderr, "no classical construction covers order %d (that is why the paper searches)\n", *n)
@@ -103,7 +124,26 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-batch is a multi-walk mode; -method cp does not support it")
 			os.Exit(2)
 		}
+		if *model != "" {
+			fmt.Fprintln(os.Stderr, "-model is a multi-walk mode; -method cp does not support it")
+			os.Exit(2)
+		}
 		runCP(*n, *maxIter, *grid, *triangle, *quiet)
+		return
+	}
+
+	if *model != "" {
+		if *batch != "" || *grid || *triangle || *platform != "" {
+			fmt.Fprintln(os.Stderr, "-model is a generic single-solve mode; -batch, -grid, -triangle and -platform do not apply")
+			os.Exit(2)
+		}
+		runModel(*model, core.Options{
+			Method:        *method,
+			Walkers:       *walkers,
+			Virtual:       *virtual,
+			Seed:          *seed,
+			MaxIterations: *maxIter,
+		}, *portfolio, *quiet)
 		return
 	}
 
@@ -158,6 +198,36 @@ func main() {
 			}
 			fmt.Printf("virtual time on %s: %.3f s\n", p.Name, p.Seconds(res.Iterations))
 		}
+	}
+}
+
+// runModel solves one registry run spec (-model) with the CLI's flag
+// values as base options; spec keys override flags. Generic models print
+// the raw 0-based permutation — 1-based output is a Costas-paper idiom.
+func runModel(spec string, base core.Options, portfolio string, quiet bool) {
+	if portfolio != "" {
+		base.Portfolio = strings.Split(portfolio, ",")
+	}
+	inst, opts, err := core.ParseRunSpec(spec, base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := core.SolveInstance(context.Background(), inst, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if !res.Solved {
+		fmt.Fprintf(os.Stderr, "%s: unsolved within budget (total %d iterations over %d walkers)\n",
+			inst.Spec, res.TotalIterations, len(res.Stats))
+		os.Exit(1)
+	}
+	fmt.Println(res.Array)
+	if !quiet {
+		fmt.Printf("model=%s walkers=%d winner=%d iterations=%d total_iterations=%d wall=%v\n",
+			inst.Spec, len(res.Stats), res.Winner, res.Iterations, res.TotalIterations, res.WallTime)
+		fmt.Printf("winner stats: %s\n", statsLine(res.Stats[res.Winner]))
 	}
 }
 

@@ -1,0 +1,83 @@
+// Command solverd serves the solver over HTTP: every model in the
+// registry, every search method, sync or async, on a bounded worker pool
+// (see internal/service for the API).
+//
+// Quickstart:
+//
+//	solverd -addr :8080 &
+//	curl -s localhost:8080/v1/models | jq .
+//	curl -s -X POST localhost:8080/v1/solve \
+//	    -d '{"model": "costas n=18", "options": {"walkers": 4}}' | jq .
+//	curl -s -X POST localhost:8080/v1/batch \
+//	    -d '{"jobs": [{"model": "costas n=14"}, {"model": "nqueens n=64"}],
+//	         "reuse_engines": true}' | jq .stats
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, running
+// solves are cancelled at their next probe quantum, async jobs drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent solve requests (0 = GOMAXPROCS)")
+		maxWalkers = flag.Int("max-walkers", 256, "per-request walker cap")
+		maxBatch   = flag.Int("max-batch", 1024, "per-batch job cap")
+		timeout    = flag.Duration("timeout", 0, "default per-request solve deadline (0 = none)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		MaxWalkers:     *maxWalkers,
+		MaxBatchJobs:   *maxBatch,
+		DefaultTimeout: *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	go func() {
+		log.Printf("solverd: listening on %s (models: %v)", *addr, registry.Names())
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("solverd: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	sig := <-stop
+	log.Printf("solverd: %v — draining (budget %v)", sig, *drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Cancel the service FIRST (concurrently with the HTTP drain): that
+	// stops in-flight solves — sync ones included — at their next probe
+	// quantum, so their handlers can return and httpSrv.Shutdown's
+	// connection drain completes. The reverse order would leave a
+	// deadline-less sync solve pinning the drain for its whole budget.
+	svcErr := make(chan error, 1)
+	go func() { svcErr <- srv.Shutdown(ctx) }()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("solverd: http shutdown: %v", err)
+	}
+	if err := <-svcErr; err != nil {
+		log.Printf("solverd: job drain: %v", err)
+		os.Exit(1)
+	}
+	fmt.Println("solverd: bye")
+}

@@ -1,0 +1,30 @@
+package main
+
+// Smoke test: boots the same service the daemon wires up and checks the
+// health and catalogue endpoints answer — the daemon package stays inside
+// the tier-1 test net without binding a real port.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/service"
+)
+
+func TestDaemonServiceBoots(t *testing.T) {
+	srv := service.New(service.Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/healthz", "/v1/models"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+	}
+}

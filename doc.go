@@ -28,10 +28,18 @@
 // concurrently over a bounded worker pool, with engine pooling via
 // csp.Restartable for hot serving paths.
 //
+// Above the facade sits the serving stack: internal/registry names every
+// model behind declarative specs ("costas n=18", "nqueens n=64
+// method=tabu") with per-entry validation and catalogue metadata, and
+// internal/service exposes solve/batch/jobs/models/healthz over HTTP on
+// a bounded worker pool with an async job store.
+//
 // Entry points:
 //
 //   - internal/core — the solving facade (see examples/quickstart);
-//   - cmd/costas — CLI solver (-method selects the search method);
+//   - cmd/costas — CLI solver (-method selects the search method,
+//     -model solves any registry spec);
+//   - cmd/solverd — the HTTP solver daemon (internal/service);
 //   - cmd/enumerate — exhaustive enumeration with published-count oracles;
 //   - cmd/paperbench — regenerates Tables I–V and Figures 2–4;
 //   - bench_test.go (this directory) — testing.B benchmarks, one per

@@ -1,0 +1,27 @@
+package main
+
+// Smoke test: keeps this example package inside the tier-1 `go test
+// ./...` net and checks the from-scratch model really registers and
+// solves through the declarative spec route main uses.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSeriesRegistersAndSolves(t *testing.T) {
+	registerSeries()
+	res, err := core.SolveSpec(context.Background(), "series n=10 seed=4242", core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Solved {
+		t.Fatal("custom registered model unsolved")
+	}
+	s := &series{n: 10, cfg: res.Array}
+	if s.costOf(res.Array) != 0 {
+		t.Fatalf("spec route returned a non-solution: %v", res.Array)
+	}
+}

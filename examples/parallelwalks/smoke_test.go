@@ -1,0 +1,30 @@
+package main
+
+// Smoke test: keeps this example package inside the tier-1 `go test
+// ./...` net by running a miniature of each mode main demonstrates.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func TestParallelModesFlow(t *testing.T) {
+	real, err := core.Solve(context.Background(), core.Options{N: 10, Walkers: 4, Seed: 7})
+	if err != nil || !real.Solved {
+		t.Fatalf("real multi-walk failed: %v", err)
+	}
+	virt, err := core.Solve(context.Background(), core.Options{N: 10, Walkers: 8, Virtual: true, Seed: 7})
+	if err != nil || !virt.Solved {
+		t.Fatalf("virtual multi-walk failed: %v", err)
+	}
+	if cluster.HA8000.Seconds(virt.Iterations) <= 0 {
+		t.Fatal("platform mapping returned nonpositive time")
+	}
+	port, err := core.Solve(context.Background(), core.Options{N: 10, Method: "portfolio", Walkers: 4, Seed: 7})
+	if err != nil || !port.Solved {
+		t.Fatalf("portfolio failed: %v", err)
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+// Smoke test: keeps this example package inside the tier-1 `go test
+// ./...` net (compiled and exercised, not just skipped as "[no test
+// files]") by running a miniature version of what main demonstrates.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/costas"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	res, err := core.Solve(context.Background(), core.Options{N: 10, Seed: 2026})
+	if err != nil || !res.Solved {
+		t.Fatalf("solve failed: %v", err)
+	}
+	if !costas.IsCostas(res.Array) {
+		t.Fatalf("not a Costas array: %v", res.Array)
+	}
+	if costas.Grid(res.Array) == "" || len(costas.Triangle(res.Array)) == 0 {
+		t.Fatal("pretty-printers returned nothing")
+	}
+}

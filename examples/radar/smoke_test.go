@@ -1,0 +1,33 @@
+package main
+
+// Smoke test: keeps this example package inside the tier-1 `go test
+// ./...` net by running a miniature of the ambiguity analysis main
+// demonstrates.
+
+import (
+	"testing"
+
+	"repro/internal/costas"
+	"repro/internal/radar"
+)
+
+func TestAmbiguityFlow(t *testing.T) {
+	arr := costas.ConstructAny(10)
+	if arr == nil {
+		t.Fatal("no construction for order 10")
+	}
+	wf, err := radar.NewWaveform(arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb := radar.ComputeAmbiguity(wf)
+	if !amb.IsThumbtack() {
+		t.Fatalf("constructed Costas array is not a thumbtack: %v", arr)
+	}
+
+	chirp := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	chirpWf, _ := radar.NewWaveform(chirp)
+	if radar.ComputeAmbiguity(chirpWf).IsThumbtack() {
+		t.Fatal("chirp pattern classified as thumbtack")
+	}
+}

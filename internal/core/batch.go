@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/costas"
 	"repro/internal/csp"
+	"repro/internal/registry"
 	"repro/internal/rng"
 )
 
@@ -39,6 +40,14 @@ type BatchJob struct {
 	// NewModel optionally overrides the CAP model with any csp.Model
 	// factory, as in SolveModel; nil solves the CAP of order Options.N.
 	NewModel func() csp.Model
+
+	// Spec optionally names the instance through the model registry as a
+	// run spec ("nqueens n=64 method=tabu", see ParseRunSpec): solver
+	// option keys in the spec override Options, the rest resolves the
+	// model. Mutually exclusive with NewModel; Options.N is ignored. A
+	// costas spec is routed onto the CAP fast path, so it stays eligible
+	// for the ReuseEngines pool exactly like an Options.N job.
+	Spec string
 }
 
 // BatchOptions configures the batch run.
@@ -55,6 +64,11 @@ type BatchOptions struct {
 	// and virtual modes (real-goroutine jobs are statistically
 	// equivalent). 0 means master seed 1.
 	MasterSeed uint64
+
+	// Registry resolves BatchJob.Spec jobs; nil means registry.Default.
+	// Servers with their own catalogue set this so batch specs resolve
+	// against the same registry that validated them.
+	Registry *registry.Registry
 
 	// ReuseEngines enables the hot path: each worker caches its last
 	// model+engine and, when the next job has the same shape (same order,
@@ -216,10 +230,46 @@ func reusableKey(job BatchJob) (reuseKey, bool) {
 	return reuseKey{method: method, n: o.N, model: o.Model}, true
 }
 
+// resolveBatchJob normalizes a spec-named job into the two primitive
+// shapes the dispatch below understands: a CAP job (NewModel nil, N set —
+// reuse-eligible) or a registry instance to solve through SolveInstance.
+// Jobs without a Spec pass through untouched.
+func resolveBatchJob(job BatchJob, reg *registry.Registry) (BatchJob, *registry.Instance, error) {
+	if job.Spec == "" {
+		return job, nil, nil
+	}
+	if job.NewModel != nil {
+		return job, nil, fmt.Errorf("core: batch job sets both Spec and NewModel")
+	}
+	if reg == nil {
+		reg = registry.Default
+	}
+	inst, opts, err := ParseRunSpecIn(reg, job.Spec, job.Options)
+	if err != nil {
+		return job, nil, err
+	}
+	if inst.Entry.Name == "costas" && reg == registry.Default {
+		// The CAP through the Default registry is the same instance Solve
+		// builds (tuned params, default model options), so route it onto
+		// the Options.N fast path and keep the engine pool in play. A
+		// custom registry's "costas" could be anything — those jobs take
+		// the generic (unpooled) instance path below.
+		opts.N = inst.Spec.Params["n"]
+		return BatchJob{Options: opts}, nil, nil
+	}
+	opts.N = 0
+	return BatchJob{Options: opts}, &inst, nil
+}
+
 // runBatchJob executes one job, preferring the pooled-engine hot path
 // when enabled and applicable.
 func runBatchJob(ctx context.Context, job BatchJob, idx int, derivedSeed uint64, opts BatchOptions, cache *engineCache) JobResult {
 	if err := ctx.Err(); err != nil {
+		return JobResult{Job: idx, Err: err}
+	}
+
+	job, inst, err := resolveBatchJob(job, opts.Registry)
+	if err != nil {
 		return JobResult{Job: idx, Err: err}
 	}
 
@@ -229,7 +279,7 @@ func runBatchJob(ctx context.Context, job BatchJob, idx int, derivedSeed uint64,
 	}
 
 	var jr JobResult
-	if key, ok := reusableKey(job); opts.ReuseEngines && ok {
+	if key, ok := reusableKey(job); opts.ReuseEngines && ok && inst == nil {
 		jr = runReusedJob(ctx, job, idx, seed, key, cache)
 	} else {
 		jobOpts := job.Options
@@ -238,9 +288,12 @@ func runBatchJob(ctx context.Context, job BatchJob, idx int, derivedSeed uint64,
 			r   Result
 			err error
 		)
-		if job.NewModel != nil {
+		switch {
+		case inst != nil:
+			r, err = SolveInstance(ctx, *inst, jobOpts)
+		case job.NewModel != nil:
 			r, err = SolveModel(ctx, job.NewModel, jobOpts)
-		} else {
+		default:
 			r, err = Solve(ctx, jobOpts)
 		}
 		jr = JobResult{Job: idx, Result: r, Err: err}

@@ -247,6 +247,17 @@ func walkConfig(opts Options, adaptiveDefaults adaptive.Params) (walk.Config, er
 	return cfg, err
 }
 
+// Validate reports whether opts describes a runnable solver configuration
+// (known method, coherent portfolio, non-negative walker count) without
+// running anything. Request front ends (internal/service) use it to turn
+// bad options into client errors before a job is enqueued; N is not
+// checked — instance selection is the caller's concern (registry specs
+// carry their own parameter validation).
+func (o Options) Validate() error {
+	_, err := walkConfig(o, adaptive.DefaultParams())
+	return err
+}
+
 // SolveModel runs the solver described by opts on any permutation CSP:
 // newModel must return a fresh, independent model instance per call (one
 // per walker). Options.N and Options.Model are ignored — the instance is

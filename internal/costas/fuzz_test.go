@@ -1,0 +1,100 @@
+package costas
+
+// FuzzCostasCost drives the CAP model's incremental cost machinery with
+// random permutations and random swap sequences, across every model
+// variant (error weights × triangle depth), and checks it against ground
+// truth at every step:
+//
+//   - cost is never negative;
+//   - cost == 0 exactly when the configuration is a Costas array;
+//   - CostIfSwap agrees with a from-scratch recomputation of the swapped
+//     configuration and leaves no visible state behind;
+//   - ExecSwap keeps the incremental counters equal to a full rebuild.
+//
+// The fuzz input is one seed (the random permutation) plus a script whose
+// first bytes pick the instance size and variant and whose tail is the
+// swap sequence. Seed corpus lives in testdata/fuzz/FuzzCostasCost.
+
+import (
+	"testing"
+
+	"repro/internal/csp"
+	"repro/internal/rng"
+)
+
+// costasVariants are the model variants whose cost semantics differ —
+// both error weightings, each with and without Chang's depth cut.
+var costasVariants = []Options{
+	{},
+	{FullTriangle: true},
+	{Err: ErrUnit},
+	{Err: ErrUnit, FullTriangle: true},
+}
+
+// costasFullCost is ground truth: a fresh model bound to a copy of cfg.
+func costasFullCost(opts Options, cfg []int) int {
+	m := New(len(cfg), opts)
+	m.Bind(append([]int(nil), cfg...))
+	return m.Cost()
+}
+
+func FuzzCostasCost(f *testing.F) {
+	f.Add(uint64(1), []byte{10, 0, 0, 1, 2, 3})
+	f.Add(uint64(42), []byte{7, 1, 6, 5, 4, 3, 2, 1, 0})
+	f.Add(uint64(7), []byte{13, 2, 0, 12, 1, 11, 2, 10})
+	f.Add(uint64(99), []byte{4, 3, 1, 1, 2, 2, 3, 3, 0, 0})
+	f.Fuzz(func(t *testing.T, seed uint64, script []byte) {
+		if len(script) < 2 {
+			return
+		}
+		n := 2 + int(script[0])%12 // orders 2..13: every branch, still fast
+		opts := costasVariants[int(script[1])%len(costasVariants)]
+		swaps := script[2:]
+		if len(swaps) > 128 { // bound the O(n²)-per-swap ground-truth work
+			swaps = swaps[:128]
+		}
+
+		m := New(n, opts)
+		cfg := csp.RandomConfiguration(n, rng.New(seed))
+		m.Bind(cfg)
+
+		check := func(stage string) {
+			cost := m.Cost()
+			if cost < 0 {
+				t.Fatalf("%s: negative cost %d (cfg %v)", stage, cost, cfg)
+			}
+			if want := costasFullCost(opts, cfg); cost != want {
+				t.Fatalf("%s: incremental cost %d, full recompute %d (cfg %v)", stage, cost, want, cfg)
+			}
+			if (cost == 0) != IsCostas(cfg) {
+				t.Fatalf("%s: cost %d disagrees with IsCostas=%v (cfg %v)", stage, cost, IsCostas(cfg), cfg)
+			}
+			for i := 0; i < n; i++ {
+				if v := m.VarCost(i); v < 0 {
+					t.Fatalf("%s: negative VarCost(%d) = %d", stage, i, v)
+				} else if cost == 0 && v != 0 {
+					t.Fatalf("%s: solved configuration blames variable %d with %d", stage, i, v)
+				}
+			}
+		}
+
+		check("bind")
+		for k := 0; k+1 < len(swaps); k += 2 {
+			i, j := int(swaps[k])%n, int(swaps[k+1])%n
+			hyp := append([]int(nil), cfg...)
+			hyp[i], hyp[j] = hyp[j], hyp[i]
+			want := costasFullCost(opts, hyp)
+			if got := m.CostIfSwap(i, j); got != want {
+				t.Fatalf("CostIfSwap(%d,%d) = %d, full recompute %d (cfg %v)", i, j, got, want, cfg)
+			}
+			if got := m.Cost(); got != costasFullCost(opts, cfg) {
+				t.Fatalf("CostIfSwap(%d,%d) mutated state: cost now %d (cfg %v)", i, j, got, cfg)
+			}
+			m.ExecSwap(i, j)
+			if got := m.Cost(); got != want {
+				t.Fatalf("ExecSwap(%d,%d) drifted: cost %d, want %d (cfg %v)", i, j, got, want, cfg)
+			}
+			check("swap")
+		}
+	})
+}

@@ -1,12 +1,17 @@
 package csp_test
 
 // Cross-engine conformance suite: every csp.Engine implementation in the
-// repository must (a) solve easy instances of two different models
+// repository must (a) solve an easy instance of EVERY registered model
 // deterministically from a fixed seed, and (b) honour the Step/Solve
 // contract — a Step-driven run follows the same trajectory iteration for
 // iteration as a monolithic Solve from the same seed, whatever the
 // quantum. This is what lets the multi-walk runner, the virtual lockstep
-// cluster and the cooperative scheduler drive any method interchangeably.
+// cluster, the cooperative scheduler and the HTTP service drive any
+// method on any model interchangeably.
+//
+// The model list is the full registry catalogue (internal/registry), each
+// at the small conformance size its entry declares — adding a model to
+// the registry automatically adds it to this engine×model cross-product.
 
 import (
 	"reflect"
@@ -17,7 +22,7 @@ import (
 	"repro/internal/csp"
 	"repro/internal/dialectic"
 	"repro/internal/hillclimb"
-	"repro/internal/models/nqueens"
+	"repro/internal/registry"
 	"repro/internal/tabu"
 )
 
@@ -28,18 +33,22 @@ type conformanceModel struct {
 }
 
 func conformanceModels() []conformanceModel {
-	return []conformanceModel{
-		{
-			name:     "cap10",
-			newModel: func() csp.Model { return costas.New(10, costas.Options{}) },
-			valid:    costas.IsCostas,
-		},
-		{
-			name:     "nqueens16",
-			newModel: func() csp.Model { return nqueens.New(16) },
-			valid:    nqueens.Valid,
-		},
+	var out []conformanceModel
+	for _, e := range registry.All() {
+		if e.Conformance == nil {
+			continue
+		}
+		inst, err := registry.Build(registry.Spec{Name: e.Name, Params: e.Conformance})
+		if err != nil {
+			panic(err) // a broken conformance declaration is a bug, not a skip
+		}
+		out = append(out, conformanceModel{
+			name:     inst.Spec.String(),
+			newModel: inst.NewModel,
+			valid:    inst.Valid,
+		})
 	}
+	return out
 }
 
 func conformanceEngines() map[string]csp.Factory {

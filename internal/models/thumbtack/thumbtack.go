@@ -1,0 +1,168 @@
+// Package thumbtack models frequency-hop waveform design directly in
+// ambiguity space: find a hop permutation whose discrete delay–Doppler
+// surface (internal/radar) is a perfect thumbtack — every off-origin
+// coincidence count at most 1.
+//
+// This is the radar-side restatement of the Costas property (§I–II of the
+// paper): a Costas permutation and a thumbtack hop pattern are the same
+// object seen from two domains. Where internal/costas models the
+// difference triangle the paper's CSP formulation uses, this model scores
+// the full (2n−1)×(2n−1) ambiguity surface a radar engineer reads — the
+// cost is the total ghost-response excess
+//
+//	cost = Σ_{(dt,df)≠(0,0)} max(0, A(dt,df) − 1)
+//
+// which is zero exactly when the pattern is a thumbtack. By the symmetry
+// A(−dt,−df) = A(dt,df), this cost is twice the unweighted full-triangle
+// Costas cost — the tests cross-validate the two models against each
+// other, and the registry exposes this one as the application-domain
+// extension workload.
+//
+// Incrementality: the model keeps the coincidence counter of every
+// delay–Doppler cell. A swap of two pulses touches only the O(n) ordered
+// pulse pairs involving those positions, so ExecSwap updates counters and
+// cost in O(n); CostIfSwap applies the swap and rolls it back, also O(n).
+package thumbtack
+
+import (
+	"repro/internal/csp"
+	"repro/internal/radar"
+)
+
+// Model implements csp.Model for thumbtack waveform design over hop
+// permutations of {0..n−1}.
+type Model struct {
+	n    int
+	cfg  []int
+	cnt  []int // (2n−1)² coincidence counters, cell (dt,df) at (dt+n−1)·(2n−1)+(df+n−1)
+	cost int
+}
+
+// New returns a thumbtack model with n pulses (= frequency bins).
+func New(n int) *Model {
+	return &Model{n: n, cnt: make([]int, (2*n-1)*(2*n-1))}
+}
+
+// Size implements csp.Model.
+func (m *Model) Size() int { return m.n }
+
+// cell flattens a delay–Doppler shift into its counter index.
+func (m *Model) cell(dt, df int) int {
+	return (dt+m.n-1)*(2*m.n-1) + (df + m.n - 1)
+}
+
+// Bind implements csp.Model: O(n²) rebuild of the ambiguity counters.
+func (m *Model) Bind(cfg []int) {
+	m.cfg = cfg
+	for i := range m.cnt {
+		m.cnt[i] = 0
+	}
+	m.cost = 0
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if i == j {
+				continue // the origin peak is not a ghost response
+			}
+			c := m.cell(j-i, cfg[j]-cfg[i])
+			if m.cnt[c] > 0 {
+				m.cost++
+			}
+			m.cnt[c]++
+		}
+	}
+}
+
+// Cost implements csp.Model.
+func (m *Model) Cost() int { return m.cost }
+
+// VarCost implements csp.Model: pulse i is blamed once for every ordered
+// pulse pair involving it that lands in an over-occupied ambiguity cell.
+func (m *Model) VarCost(i int) int {
+	blame := 0
+	for p := 0; p < m.n; p++ {
+		if p == i {
+			continue
+		}
+		if m.cnt[m.cell(i-p, m.cfg[i]-m.cfg[p])] > 1 {
+			blame++
+		}
+		if m.cnt[m.cell(p-i, m.cfg[p]-m.cfg[i])] > 1 {
+			blame++
+		}
+	}
+	return blame
+}
+
+// remove retires one coincidence from a cell, updating the excess cost.
+func (m *Model) remove(dt, df int) {
+	c := m.cell(dt, df)
+	if m.cnt[c] > 1 {
+		m.cost--
+	}
+	m.cnt[c]--
+}
+
+// add records one coincidence in a cell, updating the excess cost.
+func (m *Model) add(dt, df int) {
+	c := m.cell(dt, df)
+	if m.cnt[c] > 0 {
+		m.cost++
+	}
+	m.cnt[c]++
+}
+
+// ExecSwap implements csp.Model: retire the O(n) ordered pairs involving
+// positions i and j, swap, and re-record them.
+func (m *Model) ExecSwap(i, j int) {
+	for p := 0; p < m.n; p++ {
+		if p == i || p == j {
+			continue
+		}
+		m.remove(i-p, m.cfg[i]-m.cfg[p])
+		m.remove(p-i, m.cfg[p]-m.cfg[i])
+		m.remove(j-p, m.cfg[j]-m.cfg[p])
+		m.remove(p-j, m.cfg[p]-m.cfg[j])
+	}
+	m.remove(j-i, m.cfg[j]-m.cfg[i])
+	m.remove(i-j, m.cfg[i]-m.cfg[j])
+
+	m.cfg[i], m.cfg[j] = m.cfg[j], m.cfg[i]
+
+	for p := 0; p < m.n; p++ {
+		if p == i || p == j {
+			continue
+		}
+		m.add(i-p, m.cfg[i]-m.cfg[p])
+		m.add(p-i, m.cfg[p]-m.cfg[i])
+		m.add(j-p, m.cfg[j]-m.cfg[p])
+		m.add(p-j, m.cfg[p]-m.cfg[j])
+	}
+	m.add(j-i, m.cfg[j]-m.cfg[i])
+	m.add(i-j, m.cfg[i]-m.cfg[j])
+}
+
+// CostIfSwap implements csp.Model by applying the swap and rolling it
+// back — O(n) both ways, with no visible state change after return.
+func (m *Model) CostIfSwap(i, j int) int {
+	m.ExecSwap(i, j)
+	c := m.cost
+	m.ExecSwap(i, j)
+	return c
+}
+
+// Valid reports whether cfg is a thumbtack hop pattern: a permutation
+// whose full ambiguity surface has no off-origin cell above 1. It judges
+// through the radar package's independent O(n²) surface computation, not
+// the model's own counters.
+func Valid(cfg []int) bool {
+	if !csp.IsPermutation(cfg) {
+		return false
+	}
+	w, err := radar.NewWaveform(cfg)
+	if err != nil {
+		return false
+	}
+	return radar.ComputeAmbiguity(w).IsThumbtack()
+}
+
+var _ csp.Model = (*Model)(nil)

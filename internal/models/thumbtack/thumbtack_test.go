@@ -1,0 +1,120 @@
+package thumbtack
+
+import (
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/costas"
+	"repro/internal/csp"
+	"repro/internal/rng"
+)
+
+// fullCost recomputes the ghost-response excess from scratch on a fresh
+// model — the ground truth every incremental answer must match.
+func fullCost(cfg []int) int {
+	m := New(len(cfg))
+	m.Bind(append([]int(nil), cfg...))
+	return m.Cost()
+}
+
+func TestCostZeroIffCostas(t *testing.T) {
+	sol := costas.First(10)
+	if got := fullCost(sol); got != 0 {
+		t.Fatalf("Costas array has thumbtack cost %d, want 0", got)
+	}
+	if !Valid(sol) {
+		t.Fatal("Valid rejects a Costas array")
+	}
+
+	chirp := make([]int, 10) // linear sweep: the worst hop pattern
+	for i := range chirp {
+		chirp[i] = i
+	}
+	if got := fullCost(chirp); got == 0 {
+		t.Fatal("chirp pattern scored cost 0")
+	}
+	if Valid(chirp) {
+		t.Fatal("Valid accepts a chirp")
+	}
+}
+
+// TestCostIsTwiceUnweightedTriangleCost pins the documented cross-domain
+// identity: the ambiguity-surface excess equals twice the full-triangle
+// Costas cost with unit weights, for random permutations.
+func TestCostIsTwiceUnweightedTriangleCost(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + r.Intn(9)
+		cfg := csp.RandomConfiguration(n, r)
+		ref := costas.New(n, costas.Options{Err: costas.ErrUnit, FullTriangle: true})
+		ref.Bind(append([]int(nil), cfg...))
+		if got, want := fullCost(cfg), 2*ref.Cost(); got != want {
+			t.Fatalf("n=%d cfg=%v: thumbtack cost %d, want 2×triangle cost %d", n, cfg, got, want)
+		}
+	}
+}
+
+func TestIncrementalMatchesRecompute(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + r.Intn(8)
+		m := New(n)
+		cfg := csp.RandomConfiguration(n, r)
+		m.Bind(cfg)
+		for move := 0; move < 40; move++ {
+			i, j := r.Intn(n), r.Intn(n)
+			hyp := append([]int(nil), cfg...)
+			hyp[i], hyp[j] = hyp[j], hyp[i]
+			if got, want := m.CostIfSwap(i, j), fullCost(hyp); got != want {
+				t.Fatalf("CostIfSwap(%d,%d)=%d, full recompute %d (cfg %v)", i, j, got, want, cfg)
+			}
+			if got, want := m.Cost(), fullCost(cfg); got != want {
+				t.Fatalf("CostIfSwap mutated state: cost %d, want %d", got, want)
+			}
+			m.ExecSwap(i, j)
+			if got, want := m.Cost(), fullCost(cfg); got != want {
+				t.Fatalf("ExecSwap drifted: cost %d, full recompute %d", got, want)
+			}
+		}
+	}
+}
+
+func TestVarCostBlamesConflictedPulses(t *testing.T) {
+	chirp := []int{0, 1, 2, 3, 4, 5}
+	m := New(6)
+	m.Bind(chirp)
+	total := 0
+	for i := 0; i < 6; i++ {
+		v := m.VarCost(i)
+		if v < 0 {
+			t.Fatalf("negative VarCost(%d) = %d", i, v)
+		}
+		total += v
+	}
+	if total == 0 {
+		t.Fatal("no pulse blamed on a maximally ambiguous pattern")
+	}
+
+	m.Bind(costas.First(6))
+	for i := 0; i < 6; i++ {
+		if v := m.VarCost(i); v != 0 {
+			t.Fatalf("VarCost(%d)=%d on a thumbtack solution", i, v)
+		}
+	}
+}
+
+// TestEngineSolves: the model plugs into the standard engine machinery and
+// yields verified thumbtacks.
+func TestEngineSolves(t *testing.T) {
+	e := adaptive.Factory(adaptive.DefaultParams())(New(9), 11)
+	if !e.Solve() {
+		t.Fatal("adaptive engine did not solve thumbtack n=9")
+	}
+	sol := e.Solution()
+	if !Valid(sol) {
+		t.Fatalf("claimed solution %v is not a thumbtack", sol)
+	}
+	if !costas.IsCostas(sol) {
+		t.Fatalf("thumbtack solution %v is not Costas — the domains disagree", sol)
+	}
+}

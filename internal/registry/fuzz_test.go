@@ -1,0 +1,103 @@
+package registry
+
+// FuzzModelCost is the registry-wide version of the CAP cost fuzz: for
+// EVERY registered model, random permutations and random swap sequences
+// must keep the incremental cost machinery in agreement with a
+// from-scratch recomputation, keep cost non-negative, and make cost == 0
+// coincide exactly with the entry's independent solution validator. A
+// model added to the registry is automatically under this net — the same
+// closed-loop property the engines rely on for correctness of every
+// search trajectory. Seed corpus lives in testdata/fuzz/FuzzModelCost.
+
+import (
+	"testing"
+
+	"repro/internal/csp"
+	"repro/internal/rng"
+)
+
+// fuzzInstance resolves one registered model at a small size: the entry's
+// conformance parameters, nudged up by grow (bounded) so the fuzzer also
+// explores neighbouring sizes.
+func fuzzInstance(entrySel, grow byte) (Instance, error) {
+	entries := All()
+	e := entries[int(entrySel)%len(entries)]
+	params := map[string]int{}
+	for k, v := range e.Conformance {
+		params[k] = v + int(grow)%3
+	}
+	return Build(Spec{Name: e.Name, Params: params})
+}
+
+// instanceFullCost is ground truth: a fresh model instance bound to a
+// copy of cfg.
+func instanceFullCost(inst Instance, cfg []int) int {
+	m := inst.NewModel()
+	m.Bind(append([]int(nil), cfg...))
+	return m.Cost()
+}
+
+func FuzzModelCost(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 0, 0, 1, 2, 3})
+	f.Add(uint64(2), []byte{1, 1, 5, 4, 3, 2, 1, 0})
+	f.Add(uint64(3), []byte{2, 0, 0, 9, 1, 8, 2, 7})
+	f.Add(uint64(4), []byte{3, 2, 1, 1, 0, 2, 3, 3})
+	f.Add(uint64(5), []byte{4, 1, 6, 0, 6, 1, 6, 2})
+	f.Fuzz(func(t *testing.T, seed uint64, script []byte) {
+		if len(script) < 2 {
+			return
+		}
+		inst, err := fuzzInstance(script[0], script[1])
+		if err != nil {
+			t.Fatalf("conformance-derived instance failed to build: %v", err)
+		}
+		swaps := script[2:]
+		if len(swaps) > 128 { // bound the O(n²)-per-swap ground-truth work
+			swaps = swaps[:128]
+		}
+
+		m := inst.NewModel()
+		n := m.Size()
+		cfg := csp.RandomConfiguration(n, rng.New(seed))
+		m.Bind(cfg)
+
+		check := func(stage string) {
+			cost := m.Cost()
+			if cost < 0 {
+				t.Fatalf("%s: %s: negative cost %d (cfg %v)", inst.Spec, stage, cost, cfg)
+			}
+			if want := instanceFullCost(inst, cfg); cost != want {
+				t.Fatalf("%s: %s: incremental cost %d, full recompute %d (cfg %v)", inst.Spec, stage, cost, want, cfg)
+			}
+			if (cost == 0) != inst.Valid(cfg) {
+				t.Fatalf("%s: %s: cost %d disagrees with Valid=%v (cfg %v)", inst.Spec, stage, cost, inst.Valid(cfg), cfg)
+			}
+			for i := 0; i < n; i++ {
+				if v := m.VarCost(i); v < 0 {
+					t.Fatalf("%s: %s: negative VarCost(%d) = %d", inst.Spec, stage, i, v)
+				} else if cost == 0 && v != 0 {
+					t.Fatalf("%s: %s: solved configuration blames variable %d with %d", inst.Spec, stage, i, v)
+				}
+			}
+		}
+
+		check("bind")
+		for k := 0; k+1 < len(swaps); k += 2 {
+			i, j := int(swaps[k])%n, int(swaps[k+1])%n
+			hyp := append([]int(nil), cfg...)
+			hyp[i], hyp[j] = hyp[j], hyp[i]
+			want := instanceFullCost(inst, hyp)
+			if got := m.CostIfSwap(i, j); got != want {
+				t.Fatalf("%s: CostIfSwap(%d,%d) = %d, full recompute %d (cfg %v)", inst.Spec, i, j, got, want, cfg)
+			}
+			if got := m.Cost(); got != instanceFullCost(inst, cfg) {
+				t.Fatalf("%s: CostIfSwap(%d,%d) mutated state (cfg %v)", inst.Spec, i, j, cfg)
+			}
+			m.ExecSwap(i, j)
+			if got := m.Cost(); got != want {
+				t.Fatalf("%s: ExecSwap(%d,%d) drifted: cost %d, want %d (cfg %v)", inst.Spec, i, j, got, want, cfg)
+			}
+			check("swap")
+		}
+	})
+}

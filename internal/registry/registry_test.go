@@ -1,0 +1,227 @@
+package registry
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/costas"
+	"repro/internal/csp"
+	"repro/internal/rng"
+)
+
+func TestBuiltinsCatalogue(t *testing.T) {
+	want := []string{"allinterval", "costas", "magicsquare", "nqueens", "thumbtack"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for _, e := range All() {
+		if e.Description == "" || len(e.Params) == 0 {
+			t.Errorf("entry %q lacks description or params", e.Name)
+		}
+		if e.Conformance == nil {
+			t.Errorf("entry %q opted out of the conformance suite", e.Name)
+		}
+	}
+}
+
+func TestParseSpecGrammar(t *testing.T) {
+	for _, tc := range []struct {
+		in     string
+		name   string
+		params map[string]int
+		extra  map[string]string
+	}{
+		{"costas n=18", "costas", map[string]int{"n": 18}, map[string]string{}},
+		{"name=nqueens n=64", "nqueens", map[string]int{"n": 64}, map[string]string{}},
+		{"magicsquare", "magicsquare", map[string]int{}, map[string]string{}},
+		{"costas n=14 seed=7 method=tabu", "costas",
+			map[string]int{"n": 14, "seed": 7}, map[string]string{"method": "tabu"}},
+	} {
+		spec, extra, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tc.in, err)
+		}
+		if spec.Name != tc.name || !reflect.DeepEqual(spec.Params, tc.params) || !reflect.DeepEqual(extra, tc.extra) {
+			t.Fatalf("ParseSpec(%q) = %v %v %v, want %s %v %v", tc.in, spec, spec.Params, extra, tc.name, tc.params, tc.extra)
+		}
+	}
+
+	for _, bad := range []string{
+		"",               // no model
+		"n=18",           // no name
+		"costas nqueens", // second bare token
+		"costas n=1 n=2", // duplicate key
+		"name=a name=b",  // duplicate name
+		"costas n=",      // empty value
+		"=7",             // empty key
+	} {
+		if _, _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+func TestBuildResolvesDefaultsAndRejectsBadParams(t *testing.T) {
+	inst, err := BuildSpec("costas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Spec.Params["n"] != 12 {
+		t.Fatalf("default n = %d, want 12", inst.Spec.Params["n"])
+	}
+	if got := inst.Spec.String(); got != "costas n=12" {
+		t.Fatalf("canonical spec %q", got)
+	}
+	if inst.NewModel().Size() != 12 {
+		t.Fatal("built model has wrong size")
+	}
+
+	for _, bad := range []string{
+		"nosuchmodel n=5", // unknown model
+		"costas m=5",      // unknown parameter
+		"costas n=0",      // below minimum
+		"magicsquare k=2", // below minimum
+		"costas n=five",   // non-integer value
+	} {
+		if _, err := BuildSpec(bad); err == nil {
+			t.Errorf("BuildSpec(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+// TestEveryBuiltinBuildsAndValidates: for each entry, the conformance
+// instance builds fresh independent models, Valid rejects a plainly wrong
+// configuration and cost==0 agrees with Valid on a solved engine run —
+// the registry-level statement of the CSP contract.
+func TestEveryBuiltinBuildsAndValidates(t *testing.T) {
+	for _, e := range All() {
+		t.Run(e.Name, func(t *testing.T) {
+			inst, err := Build(Spec{Name: e.Name, Params: e.Conformance})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m1, m2 := inst.NewModel(), inst.NewModel()
+			if m1 == m2 {
+				t.Fatal("NewModel returned a shared instance")
+			}
+			n := m1.Size()
+			if n < 2 {
+				t.Fatalf("conformance instance too small: %d", n)
+			}
+			if inst.Valid(make([]int, n)) {
+				t.Fatal("Valid accepted the all-zero non-permutation")
+			}
+			if inst.Valid(nil) {
+				t.Fatal("Valid accepted nil")
+			}
+
+			cfg := csp.RandomConfiguration(n, rng.New(3))
+			m1.Bind(cfg)
+			if m1.Cost() < 0 {
+				t.Fatalf("negative cost %d", m1.Cost())
+			}
+			if (m1.Cost() == 0) != inst.Valid(cfg) {
+				t.Fatalf("cost %d disagrees with Valid=%v on %v", m1.Cost(), inst.Valid(cfg), cfg)
+			}
+		})
+	}
+}
+
+func TestTunedParamsOnlyWhereDeclared(t *testing.T) {
+	inst, err := BuildSpec("costas n=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := inst.TunedParams()
+	if !ok {
+		t.Fatal("costas entry lost its tuned parameter set")
+	}
+	if want := costas.TunedParams(16); p != want {
+		t.Fatalf("tuned params %+v, want %+v", p, want)
+	}
+
+	inst, err = BuildSpec("nqueens n=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := inst.TunedParams(); ok {
+		t.Fatal("nqueens unexpectedly declares tuned params")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		`"costas n=18"`,
+		`{"name":"costas","params":{"n":18}}`,
+	} {
+		var s Spec
+		if err := json.Unmarshal([]byte(in), &s); err != nil {
+			t.Fatalf("unmarshal %s: %v", in, err)
+		}
+		if s.Name != "costas" || s.Params["n"] != 18 {
+			t.Fatalf("unmarshal %s = %+v", in, s)
+		}
+	}
+	var s Spec
+	if err := json.Unmarshal([]byte(`"costas n=18 method=tabu"`), &s); err == nil {
+		t.Fatal("string spec with non-integer values unmarshalled into a bare model Spec")
+	}
+	if err := json.Unmarshal([]byte(`42`), &s); err == nil {
+		t.Fatal("number unmarshalled as Spec")
+	}
+	// Object form must be strict: a typo'd field would otherwise make
+	// the spec silently resolve to the model's defaults.
+	if err := json.Unmarshal([]byte(`{"name":"costas","paramz":{"n":18}}`), &s); err == nil {
+		t.Fatal("unknown field in object spec silently dropped")
+	}
+}
+
+func TestRegisterCustomEntryAndRejects(t *testing.T) {
+	r := New()
+	entry := Entry{
+		Name:        "toy",
+		Description: "identity permutation finder",
+		Params:      []Param{{Name: "n", Description: "size", Default: 4, Min: 2}},
+		Build: func(p map[string]int) (func() csp.Model, error) {
+			n := p["n"]
+			return func() csp.Model { return costas.New(n, costas.Options{}) }, nil
+		},
+		Valid: func(p map[string]int, cfg []int) bool { return costas.IsCostas(cfg) },
+	}
+	if err := r.Register(entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(entry); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if _, err := r.BuildSpec("toy n=6"); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := entry
+	bad.Name = "has space"
+	if err := r.Register(bad); err == nil {
+		t.Fatal("invalid name accepted")
+	}
+	bad = entry
+	bad.Name = "nobuild"
+	bad.Build = nil
+	if err := r.Register(bad); err == nil {
+		t.Fatal("entry without Build accepted")
+	}
+	bad = entry
+	bad.Name = "badparam"
+	bad.Params = []Param{{Name: "n", Default: 1, Min: 2}}
+	if err := r.Register(bad); err == nil {
+		t.Fatal("default below min accepted")
+	}
+	for _, reserved := range ReservedKeys {
+		bad = entry
+		bad.Name = "shadow-" + reserved
+		bad.Params = []Param{{Name: reserved, Description: "shadow", Default: 1, Min: 0}}
+		if err := r.Register(bad); err == nil {
+			t.Errorf("parameter shadowing reserved key %q accepted", reserved)
+		}
+	}
+}

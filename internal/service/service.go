@@ -1,0 +1,714 @@
+// Package service exposes the solver over HTTP: a long-running JSON API
+// that serves any registered model (internal/registry) through the
+// facade's solve and batch layers (internal/core). This is the serving
+// shape the paper's communication-free multi-walk scheme scales behind —
+// stateless requests, independent walkers, no cross-request coupling —
+// turned into a deployable front end.
+//
+// Endpoints:
+//
+//	POST /v1/solve     one instance; sync by default, async with "async"
+//	POST /v1/batch     many instances over the batch engine-pooling layer
+//	GET  /v1/jobs/{id} poll an async job
+//	GET  /v1/models    the model catalogue (registry entries + options)
+//	GET  /healthz      liveness + load counters
+//
+// Concurrency is bounded by a server-wide worker semaphore: at most
+// Config.Workers solves run at once across all requests — a sync or
+// async solve occupies one slot, a batch occupies as many slots as its
+// inner concurrency, so concurrent batches cannot multiply past the
+// bound. The rest queue on their request context, so a client that
+// gives up stops waiting server-side too. Every solve runs under the
+// request context (sync) or the server's base context (async),
+// optionally tightened by the request's timeout_ms — cancellation
+// propagates into the scheduler in every run mode, so a deadline stops
+// walkers mid-solve and the partial result reports cancelled=true.
+// Shutdown cancels the base context — stopping sync and async solves
+// alike at their next probe quantum — and drains async jobs.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/registry"
+)
+
+// Config tunes the server. The zero value serves with sensible defaults.
+type Config struct {
+	// Workers bounds how many requests solve concurrently (and the inner
+	// concurrency of a batch). 0 means GOMAXPROCS.
+	Workers int
+	// MaxWalkers caps the per-request walker count (multi-walk width); a
+	// request beyond the cap is a client error. 0 means 256.
+	MaxWalkers int
+	// MaxBatchJobs caps the job count of one batch request. 0 means 1024.
+	MaxBatchJobs int
+	// MaxStoredJobs caps the async job store; finished jobs are evicted
+	// oldest-first past the cap, and new async work is refused with 429
+	// when the store is full of unfinished jobs. 0 means 1024.
+	MaxStoredJobs int
+	// DefaultTimeout bounds any request that does not set timeout_ms;
+	// 0 means no implicit deadline.
+	DefaultTimeout time.Duration
+	// Registry resolves model specs; nil means registry.Default.
+	Registry *registry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxWalkers <= 0 {
+		c.MaxWalkers = 256
+	}
+	if c.MaxBatchJobs <= 0 {
+		c.MaxBatchJobs = 1024
+	}
+	if c.MaxStoredJobs <= 0 {
+		c.MaxStoredJobs = 1024
+	}
+	if c.Registry == nil {
+		c.Registry = registry.Default
+	}
+	return c
+}
+
+// OptionsJSON is the wire form of core.Options (instance selection
+// excluded — the model spec carries it).
+type OptionsJSON struct {
+	Method        string   `json:"method,omitempty"`
+	Portfolio     []string `json:"portfolio,omitempty"`
+	Walkers       int      `json:"walkers,omitempty"`
+	Virtual       bool     `json:"virtual,omitempty"`
+	Seed          uint64   `json:"seed,omitempty"`
+	MaxIterations int64    `json:"max_iterations,omitempty"`
+	CheckEvery    int      `json:"check_every,omitempty"`
+}
+
+func (o OptionsJSON) toCore() core.Options {
+	return core.Options{
+		Method:        o.Method,
+		Portfolio:     o.Portfolio,
+		Walkers:       o.Walkers,
+		Virtual:       o.Virtual,
+		Seed:          o.Seed,
+		MaxIterations: o.MaxIterations,
+		CheckEvery:    o.CheckEvery,
+	}
+}
+
+// SolveRequest is the body of POST /v1/solve.
+type SolveRequest struct {
+	// Model is a registry spec: either a grammar string ("costas n=18")
+	// or {"name": ..., "params": {...}}.
+	Model registry.Spec `json:"model"`
+	// Options are the solver options (validated against core.Options).
+	Options OptionsJSON `json:"options"`
+	// TimeoutMS bounds the solve; expiry cancels walkers mid-run and
+	// returns the partial result with cancelled=true.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Async enqueues the solve and returns 202 with a job id instead of
+	// blocking.
+	Async bool `json:"async,omitempty"`
+}
+
+// SolveResponse reports one solve outcome.
+type SolveResponse struct {
+	Model           string  `json:"model"`
+	Solved          bool    `json:"solved"`
+	Solution        []int   `json:"solution,omitempty"`
+	Winner          int     `json:"winner"`
+	Iterations      int64   `json:"iterations"`
+	TotalIterations int64   `json:"total_iterations"`
+	WallMS          float64 `json:"wall_ms"`
+	Cancelled       bool    `json:"cancelled"`
+	Walkers         int     `json:"walkers"`
+}
+
+func solveResponse(model string, res core.Result) SolveResponse {
+	return SolveResponse{
+		Model:           model,
+		Solved:          res.Solved,
+		Solution:        res.Array,
+		Winner:          res.Winner,
+		Iterations:      res.Iterations,
+		TotalIterations: res.TotalIterations,
+		WallMS:          float64(res.WallTime) / float64(time.Millisecond),
+		Cancelled:       res.Cancelled,
+		Walkers:         len(res.Stats),
+	}
+}
+
+// BatchJobRequest is one job of a batch: a model plus its options.
+type BatchJobRequest struct {
+	Model   registry.Spec `json:"model"`
+	Options OptionsJSON   `json:"options"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Jobs []BatchJobRequest `json:"jobs"`
+	// MasterSeed decorrelates jobs whose options omit a seed (see
+	// core.BatchOptions).
+	MasterSeed uint64 `json:"master_seed,omitempty"`
+	// Concurrency bounds in-flight jobs; 0 or anything above the server's
+	// worker count is clamped to the worker count.
+	Concurrency int `json:"concurrency,omitempty"`
+	// ReuseEngines enables the engine-pooling hot path for eligible jobs.
+	ReuseEngines bool  `json:"reuse_engines,omitempty"`
+	TimeoutMS    int64 `json:"timeout_ms,omitempty"`
+	Async        bool  `json:"async,omitempty"`
+}
+
+// BatchJobResponse is one job's outcome.
+type BatchJobResponse struct {
+	Job    int            `json:"job"`
+	Error  string         `json:"error,omitempty"`
+	Reused bool           `json:"reused,omitempty"`
+	Result *SolveResponse `json:"result,omitempty"`
+}
+
+// BatchResponse reports a whole batch.
+type BatchResponse struct {
+	Jobs  []BatchJobResponse `json:"jobs"`
+	Stats BatchStatsJSON     `json:"stats"`
+}
+
+// BatchStatsJSON is the wire form of core.BatchStats.
+type BatchStatsJSON struct {
+	Jobs            int     `json:"jobs"`
+	Solved          int     `json:"solved"`
+	Errors          int     `json:"errors"`
+	EnginesReused   int     `json:"engines_reused"`
+	TotalIterations int64   `json:"total_iterations"`
+	WallMS          float64 `json:"wall_ms"`
+	SolvesPerSec    float64 `json:"solves_per_sec"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} body.
+type JobStatus struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`  // "solve" or "batch"
+	State string `json:"state"` // "pending", "running" or "done"
+	Error string `json:"error,omitempty"`
+	// Solve / Batch hold the result once State is "done".
+	Solve *SolveResponse `json:"solve,omitempty"`
+	Batch *BatchResponse `json:"batch,omitempty"`
+}
+
+// job is the store-side record behind a JobStatus.
+type job struct {
+	status JobStatus
+	seq    int // admission order, for oldest-first eviction
+}
+
+// Server is the HTTP solver service. Create with New, expose with
+// Handler, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	slots   chan struct{} // worker semaphore
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup // async jobs in flight
+
+	acqMu sync.Mutex // serializes multi-slot (batch) acquisition
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	nextID   int
+	inflight int // requests currently solving (sync + async)
+	started  time.Time
+}
+
+// New returns a ready server (no listener — pair Handler with
+// http.Server; cmd/solverd does exactly that).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		slots:   make(chan struct{}, cfg.Workers),
+		baseCtx: ctx,
+		cancel:  cancel,
+		jobs:    map[string]*job{},
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops accepting async work, cancels the base context (which
+// stops running async solves at their next probe quantum) and waits for
+// them to drain, up to ctx's deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.cancel()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: shutdown timed out: %w", ctx.Err())
+	}
+}
+
+// --- request plumbing ---
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func clientErr(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	var he *httpError
+	if errors.As(err, &he) {
+		writeJSON(w, he.status, map[string]string{"error": he.msg})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+}
+
+// decodeStrict decodes a JSON body rejecting unknown fields and trailing
+// garbage — malformed requests are client errors, not silent defaults.
+func decodeStrict(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return clientErr("bad request body: %v", err)
+	}
+	if dec.More() {
+		return clientErr("bad request body: trailing data")
+	}
+	return nil
+}
+
+// resolve validates one model+options pair into a registry instance and
+// core options. All failures are client errors.
+func (s *Server) resolve(spec registry.Spec, o OptionsJSON) (registry.Instance, core.Options, error) {
+	inst, err := s.cfg.Registry.Build(spec)
+	if err != nil {
+		return registry.Instance{}, core.Options{}, clientErr("%v", err)
+	}
+	opts := o.toCore()
+	if err := opts.Validate(); err != nil {
+		return registry.Instance{}, core.Options{}, clientErr("%v", err)
+	}
+	if opts.Walkers > s.cfg.MaxWalkers {
+		return registry.Instance{}, core.Options{}, clientErr(
+			"walkers=%d exceeds the server cap %d", opts.Walkers, s.cfg.MaxWalkers)
+	}
+	return inst, opts, nil
+}
+
+// runCtx derives the execution context for a request: parent (the request
+// context for sync work, the server base context for async) tightened by
+// the request timeout or the configured default, and additionally
+// cancelled by Shutdown — a draining server must stop sync solves at
+// their next probe quantum too, not just async ones, or a deadline-less
+// sync solve would pin the drain for its whole budget.
+func (s *Server) runCtx(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	var (
+		ctx    context.Context
+		cancel context.CancelFunc
+	)
+	if d <= 0 {
+		ctx, cancel = context.WithCancel(parent)
+	} else {
+		ctx, cancel = context.WithTimeout(parent, d)
+	}
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// acquire takes a worker slot, or fails when ctx ends first.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.slots }
+
+// acquireN takes n worker slots for a batch (n = its inner concurrency),
+// so concurrent batches cannot multiply past the server-wide worker
+// bound. Multi-slot acquisition is serialized by acqMu: a batch holding
+// some slots while waiting for more would otherwise deadlock against
+// another batch doing the same; single-slot acquirers (sync solves)
+// never hold-and-wait, so they bypass the mutex safely.
+func (s *Server) acquireN(ctx context.Context, n int) error {
+	s.acqMu.Lock()
+	defer s.acqMu.Unlock()
+	for i := 0; i < n; i++ {
+		if err := s.acquire(ctx); err != nil {
+			for ; i > 0; i-- {
+				s.release()
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Server) releaseN(n int) {
+	for i := 0; i < n; i++ {
+		s.release()
+	}
+}
+
+func (s *Server) trackInflight(delta int) {
+	s.mu.Lock()
+	s.inflight += delta
+	s.mu.Unlock()
+}
+
+// --- handlers ---
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	inst, opts, err := s.resolve(req.Model, req.Options)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+
+	if req.Async {
+		id, err := s.admitJob("solve")
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.runAsync(id, 1, func(ctx context.Context) (JobStatus, error) {
+				res, err := core.SolveInstance(ctx, inst, opts)
+				if err != nil {
+					return JobStatus{}, err
+				}
+				sr := solveResponse(inst.Spec.String(), res)
+				return JobStatus{Solve: &sr}, nil
+			}, req.TimeoutMS)
+		}()
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "url": "/v1/jobs/" + id})
+		return
+	}
+
+	ctx, cancel := s.runCtx(r.Context(), req.TimeoutMS)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		writeErr(w, &httpError{status: http.StatusServiceUnavailable, msg: "no worker available: " + err.Error()})
+		return
+	}
+	defer s.release()
+	s.trackInflight(1)
+	defer s.trackInflight(-1)
+
+	res, err := core.SolveInstance(ctx, inst, opts)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, solveResponse(inst.Spec.String(), res))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeErr(w, clientErr("batch has no jobs"))
+		return
+	}
+	if len(req.Jobs) > s.cfg.MaxBatchJobs {
+		writeErr(w, clientErr("batch of %d jobs exceeds the server cap %d", len(req.Jobs), s.cfg.MaxBatchJobs))
+		return
+	}
+
+	// Validate every job up front: a batch with an unresolvable spec or
+	// bad options is a client error before any work starts (runtime
+	// failures inside good jobs still report per job, as in core).
+	jobs := make([]core.BatchJob, len(req.Jobs))
+	models := make([]string, len(req.Jobs))
+	for i, jr := range req.Jobs {
+		inst, opts, err := s.resolve(jr.Model, jr.Options)
+		if err != nil {
+			writeErr(w, clientErr("job %d: %v", i, err))
+			return
+		}
+		// Hand the canonical spec to the batch layer (not the closure):
+		// costas jobs keep their engine-pool eligibility this way.
+		jobs[i] = core.BatchJob{Spec: inst.Spec.String(), Options: opts}
+		models[i] = inst.Spec.String()
+	}
+
+	conc := req.Concurrency
+	if conc <= 0 || conc > s.cfg.Workers {
+		conc = s.cfg.Workers
+	}
+	if conc > len(req.Jobs) {
+		conc = len(req.Jobs)
+	}
+	batchOpts := core.BatchOptions{
+		Concurrency:  conc,
+		MasterSeed:   req.MasterSeed,
+		Registry:     s.cfg.Registry, // specs must resolve against the catalogue that validated them
+		ReuseEngines: req.ReuseEngines,
+	}
+
+	run := func(ctx context.Context) (BatchResponse, error) {
+		res, err := core.SolveBatch(ctx, jobs, batchOpts)
+		if err != nil {
+			return BatchResponse{}, err
+		}
+		return batchResponse(models, res), nil
+	}
+
+	if req.Async {
+		id, err := s.admitJob("batch")
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.runAsync(id, conc, func(ctx context.Context) (JobStatus, error) {
+				br, err := run(ctx)
+				if err != nil {
+					return JobStatus{}, err
+				}
+				return JobStatus{Batch: &br}, nil
+			}, req.TimeoutMS)
+		}()
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "url": "/v1/jobs/" + id})
+		return
+	}
+
+	ctx, cancel := s.runCtx(r.Context(), req.TimeoutMS)
+	defer cancel()
+	if err := s.acquireN(ctx, conc); err != nil {
+		writeErr(w, &httpError{status: http.StatusServiceUnavailable, msg: "no worker available: " + err.Error()})
+		return
+	}
+	defer s.releaseN(conc)
+	s.trackInflight(1)
+	defer s.trackInflight(-1)
+
+	br, err := run(ctx)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, br)
+}
+
+func batchResponse(models []string, res core.BatchResult) BatchResponse {
+	out := BatchResponse{
+		Jobs: make([]BatchJobResponse, len(res.Jobs)),
+		Stats: BatchStatsJSON{
+			Jobs:            res.Stats.Jobs,
+			Solved:          res.Stats.Solved,
+			Errors:          res.Stats.Errors,
+			EnginesReused:   res.Stats.EnginesReused,
+			TotalIterations: res.Stats.TotalIterations,
+			WallMS:          float64(res.Stats.WallTime) / float64(time.Millisecond),
+			SolvesPerSec:    res.Stats.SolvesPerSec,
+		},
+	}
+	for i, jr := range res.Jobs {
+		bjr := BatchJobResponse{Job: jr.Job, Reused: jr.Reused}
+		if jr.Err != nil {
+			bjr.Error = jr.Err.Error()
+		}
+		if jr.Err == nil || jr.Result.Stats != nil {
+			sr := solveResponse(models[i], jr.Result)
+			bjr.Result = &sr
+		}
+		out.Jobs[i] = bjr
+	}
+	return out
+}
+
+// admitJob reserves a job id, refusing when the store cannot take more.
+func (s *Server) admitJob(kind string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.evictLocked() {
+		return "", &httpError{status: http.StatusTooManyRequests, msg: "job store full"}
+	}
+	s.nextID++
+	id := fmt.Sprintf("j%d", s.nextID)
+	s.jobs[id] = &job{status: JobStatus{ID: id, Kind: kind, State: "pending"}, seq: s.nextID}
+	return id, nil
+}
+
+// evictLocked makes room in the job store, dropping finished jobs
+// oldest-first. It reports whether a slot is available.
+func (s *Server) evictLocked() bool {
+	for len(s.jobs) >= s.cfg.MaxStoredJobs {
+		oldest := ""
+		oldestSeq := 0
+		for id, j := range s.jobs {
+			if j.status.State == "done" && (oldest == "" || j.seq < oldestSeq) {
+				oldest, oldestSeq = id, j.seq
+			}
+		}
+		if oldest == "" {
+			return false // everything is still pending/running
+		}
+		delete(s.jobs, oldest)
+	}
+	return true
+}
+
+// runAsync drives one admitted job through the worker pool under the
+// server's base context; slots is the worker-slot count the job occupies
+// (1 for a solve, the inner concurrency for a batch).
+func (s *Server) runAsync(id string, slots int, work func(context.Context) (JobStatus, error), timeoutMS int64) {
+	ctx, cancel := s.runCtx(s.baseCtx, timeoutMS)
+	defer cancel()
+	if err := s.acquireN(ctx, slots); err != nil {
+		s.finishJob(id, JobStatus{}, err)
+		return
+	}
+	defer s.releaseN(slots)
+	s.trackInflight(1)
+	defer s.trackInflight(-1)
+
+	s.setJobState(id, "running")
+	st, err := work(ctx)
+	s.finishJob(id, st, err)
+}
+
+func (s *Server) setJobState(id, state string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		j.status.State = state
+	}
+}
+
+func (s *Server) finishJob(id string, st JobStatus, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return
+	}
+	j.status.State = "done"
+	j.status.Solve = st.Solve
+	j.status.Batch = st.Batch
+	if err != nil {
+		j.status.Error = err.Error()
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var snapshot JobStatus
+	if ok {
+		snapshot = j.status
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshot)
+}
+
+// ModelInfo is one catalogue entry of GET /v1/models.
+type ModelInfo struct {
+	Name        string           `json:"name"`
+	Description string           `json:"description"`
+	Params      []registry.Param `json:"params"`
+	DefaultSpec string           `json:"default_spec"`
+}
+
+// ModelsResponse is the GET /v1/models body.
+type ModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+	// OptionKeys lists the solver option keys of the run-spec grammar
+	// (core.ParseRunSpec: the CLI's -model flag, core.BatchJob.Spec).
+	// Over HTTP a model spec carries model parameters only; solver
+	// options go in the request's "options" object, whose fields mirror
+	// these keys.
+	OptionKeys []string `json:"option_keys"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	var resp ModelsResponse
+	for _, e := range s.cfg.Registry.All() {
+		params := map[string]int{}
+		for _, p := range e.Params {
+			params[p.Name] = p.Default
+		}
+		resp.Models = append(resp.Models, ModelInfo{
+			Name:        e.Name,
+			Description: e.Description,
+			Params:      e.Params,
+			DefaultSpec: registry.Spec{Name: e.Name, Params: params}.String(),
+		})
+	}
+	resp.OptionKeys = core.OptionKeys()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	inflight := s.inflight
+	stored := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":         true,
+		"inflight":   inflight,
+		"jobs":       stored,
+		"workers":    s.cfg.Workers,
+		"models":     len(s.cfg.Registry.Names()),
+		"uptime_sec": time.Since(s.started).Seconds(),
+	})
+}
