@@ -1,0 +1,36 @@
+package repro
+
+// Allocation discipline for the CAP hot path: after Bind, the steady-state
+// Adaptive Search solve loop — culprit selection, min-conflict probing via
+// the read-only SwapDelta kernel, commits, resets, restarts — performs ZERO
+// heap allocations. cmd/perfbench -smoke gates CI on the same property via
+// benchmark allocs/op; this test pins it exactly with testing.AllocsPerRun.
+
+import (
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/costas"
+	"repro/internal/rng"
+)
+
+func TestSteadyStateSolveLoopZeroAllocs(t *testing.T) {
+	const n = 16
+	m := costas.New(n, costas.Options{})
+	e := adaptive.NewEngine(m, costas.TunedParams(n), 3)
+	scratch := make([]int, n)
+	r := rng.New(11)
+	// Warm up past one-time work (initial VarCost recompute, first reset)
+	// so the measurement sees only the steady state.
+	e.Step(2048)
+	avg := testing.AllocsPerRun(100, func() {
+		if e.Solved() {
+			r.PermInto(scratch)
+			e.RestartFrom(scratch)
+		}
+		e.Step(64)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state solve loop allocates %.2f allocs/run (want 0): the hot path regressed", avg)
+	}
+}

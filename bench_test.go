@@ -43,6 +43,7 @@ func solveOnce(b *testing.B, n int, opts costas.Options, params adaptive.Params,
 // BenchmarkTableISequential is Table I's unit of work: one sequential
 // Adaptive Search solve from a fresh random configuration.
 func BenchmarkTableISequential(b *testing.B) {
+	b.ReportAllocs()
 	var iters int64
 	for i := 0; i < b.N; i++ {
 		iters += solveOnce(b, benchSeqN, costas.Options{}, costas.TunedParams(benchSeqN), uint64(i)+1)
@@ -55,11 +56,13 @@ func BenchmarkTableISequential(b *testing.B) {
 // DS/AS column in miniature.
 func BenchmarkTableIIDialecticVsAS(b *testing.B) {
 	b.Run("AdaptiveSearch", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			solveOnce(b, benchBaseN, costas.Options{}, costas.TunedParams(benchBaseN), uint64(i)+1)
 		}
 	})
 	b.Run("DialecticSearch", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			m := costas.New(benchBaseN, costas.Options{})
 			s := dialectic.New(m, dialectic.Params{}, uint64(i)+1)
@@ -69,6 +72,7 @@ func BenchmarkTableIIDialecticVsAS(b *testing.B) {
 		}
 	})
 	b.Run("TabuSearch", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			m := costas.New(benchBaseN, costas.Options{})
 			s := tabu.New(m, tabu.Params{}, uint64(i)+1)
@@ -78,6 +82,7 @@ func BenchmarkTableIIDialecticVsAS(b *testing.B) {
 		}
 	})
 	b.Run("HillClimb", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			m := costas.New(benchBaseN, costas.Options{})
 			s := hillclimb.New(m, hillclimb.Params{}, uint64(i)+1)
@@ -91,6 +96,7 @@ func BenchmarkTableIIDialecticVsAS(b *testing.B) {
 // BenchmarkSectionIVCompleteCP is the §IV-C comparison unit: one complete
 // CP first-solution search (deterministic, so the work is fixed per op).
 func BenchmarkSectionIVCompleteCP(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s, err := cp.New(16)
 		if err != nil {
@@ -103,6 +109,7 @@ func BenchmarkSectionIVCompleteCP(b *testing.B) {
 }
 
 func benchVirtual(b *testing.B, n, cores int) {
+	b.ReportAllocs()
 	factory := func() csp.Model { return costas.New(n, costas.Options{}) }
 	var iters int64
 	for i := 0; i < b.N; i++ {
@@ -139,6 +146,7 @@ func BenchmarkTableIVJugene(b *testing.B) {
 // measurement machinery is identical (rates differ only in reporting), so
 // this pins the real-goroutine multi-walk path instead of the virtual one.
 func BenchmarkTableVGrid5000(b *testing.B) {
+	b.ReportAllocs()
 	factory := func() csp.Model { return costas.New(benchParN, costas.Options{}) }
 	for i := 0; i < b.N; i++ {
 		res := walk.Parallel(context.Background(), factory, walk.Config{
@@ -176,6 +184,7 @@ func BenchmarkFig4TimeToTarget(b *testing.B) {
 func BenchmarkAblation(b *testing.B) {
 	run := func(opts costas.Options, params adaptive.Params) func(*testing.B) {
 		return func(b *testing.B) {
+			b.ReportAllocs()
 			var iters int64
 			for i := 0; i < b.N; i++ {
 				iters += solveOnce(b, benchSeqN, opts, params, uint64(i)+1)
@@ -197,6 +206,7 @@ func BenchmarkAblation(b *testing.B) {
 func BenchmarkExtensionCooperative(b *testing.B) {
 	factory := func() csp.Model { return costas.New(benchParN, costas.Options{}) }
 	b.Run("independent", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res := walk.Virtual(context.Background(), factory, walk.Config{
 				Walkers:    16,
@@ -209,6 +219,7 @@ func BenchmarkExtensionCooperative(b *testing.B) {
 		}
 	})
 	b.Run("cooperative", func(b *testing.B) {
+		b.ReportAllocs()
 		coopParams := costas.TunedParams(benchParN)
 		coopParams.RestartLimit = -1 // the cooperative scheduler owns restarts
 		for i := 0; i < b.N; i++ {
@@ -223,6 +234,7 @@ func BenchmarkExtensionCooperative(b *testing.B) {
 		}
 	})
 	b.Run("cooperativeParallel", func(b *testing.B) {
+		b.ReportAllocs()
 		coopParams := costas.TunedParams(benchParN)
 		coopParams.RestartLimit = -1
 		for i := 0; i < b.N; i++ {
@@ -252,6 +264,7 @@ func batchOrders() []int {
 func BenchmarkBatchThroughput(b *testing.B) {
 	orders := batchOrders()
 	b.Run("sequentialLoop", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			for j, n := range orders {
 				res, err := core.Solve(context.Background(),
@@ -264,6 +277,7 @@ func BenchmarkBatchThroughput(b *testing.B) {
 	})
 	run := func(reuse bool) func(*testing.B) {
 		return func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := core.SolveBatch(context.Background(),
 					core.BatchCAP(orders, core.Options{}),
@@ -285,6 +299,7 @@ func BenchmarkBatchThroughput(b *testing.B) {
 // orders × mixed methods on the virtual cluster — through the worker
 // pool, the batch counterpart of the per-table virtual benches above.
 func BenchmarkBatchVirtualMixed(b *testing.B) {
+	b.ReportAllocs()
 	var jobs []core.BatchJob
 	for _, method := range []string{"adaptive", "tabu", "hillclimb", "dialectic"} {
 		for _, n := range []int{10, 11, 12} {

@@ -17,6 +17,8 @@
 //	costas -model "nqueens n=64"          # any registered model via the registry
 //	costas -model "magicsquare k=5 method=tabu walkers=4"
 //	costas -models                        # list the model catalogue
+//	costas -n 20 -cpuprofile cpu.pb.gz    # profile the solve (go tool pprof)
+//	costas -n 20 -memprofile mem.pb.gz    # heap profile written on exit
 //
 // The exit status is 0 on success and 1 if the instance (or any batch
 // job) was not solved within the given budget.
@@ -60,8 +62,12 @@ func main() {
 		reuse     = flag.Bool("reuse", false, "pool engines across compatible batch jobs (hot path)")
 		model     = flag.String("model", "", `registry run spec, e.g. "nqueens n=64 method=tabu" (overrides -n)`)
 		models    = flag.Bool("models", false, "list the registered models and exit")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	startProfiles(*cpuprof, *memprof)
+	defer stopProfiles()
 
 	if *models {
 		for _, e := range registry.All() {
@@ -86,7 +92,7 @@ func main() {
 	if solverSet {
 		if methodSet {
 			fmt.Fprintf(os.Stderr, "-solver is a deprecated alias of -method; pass only one\n")
-			os.Exit(2)
+			exit(2)
 		}
 		if *solver == "as" {
 			*solver = "adaptive"
@@ -96,7 +102,7 @@ func main() {
 	if *portfolio != "" && *method != "portfolio" {
 		if methodSet || solverSet {
 			fmt.Fprintf(os.Stderr, "-portfolio conflicts with -method %s (use -method portfolio)\n", *method)
-			os.Exit(2)
+			exit(2)
 		}
 		*method = "portfolio" // -portfolio alone implies portfolio mode
 	}
@@ -104,16 +110,16 @@ func main() {
 	if *construct {
 		if *batch != "" {
 			fmt.Fprintln(os.Stderr, "-batch is a search mode; -construct does not support it")
-			os.Exit(2)
+			exit(2)
 		}
 		if *model != "" {
 			fmt.Fprintln(os.Stderr, "-model is a search mode; -construct does not support it")
-			os.Exit(2)
+			exit(2)
 		}
 		arr := core.Construct(*n)
 		if arr == nil {
 			fmt.Fprintf(os.Stderr, "no classical construction covers order %d (that is why the paper searches)\n", *n)
-			os.Exit(1)
+			exit(1)
 		}
 		emit(arr, *grid, *triangle, *quiet)
 		return
@@ -122,11 +128,11 @@ func main() {
 	if *method == "cp" {
 		if *batch != "" {
 			fmt.Fprintln(os.Stderr, "-batch is a multi-walk mode; -method cp does not support it")
-			os.Exit(2)
+			exit(2)
 		}
 		if *model != "" {
 			fmt.Fprintln(os.Stderr, "-model is a multi-walk mode; -method cp does not support it")
-			os.Exit(2)
+			exit(2)
 		}
 		runCP(*n, *maxIter, *grid, *triangle, *quiet)
 		return
@@ -135,7 +141,7 @@ func main() {
 	if *model != "" {
 		if *batch != "" || *grid || *triangle || *platform != "" {
 			fmt.Fprintln(os.Stderr, "-model is a generic single-solve mode; -batch, -grid, -triangle and -platform do not apply")
-			os.Exit(2)
+			exit(2)
 		}
 		runModel(*model, core.Options{
 			Method:        *method,
@@ -150,7 +156,7 @@ func main() {
 	if *batch != "" {
 		if *grid || *triangle || *platform != "" {
 			fmt.Fprintln(os.Stderr, "-grid, -triangle and -platform are single-instance reports; -batch does not support them")
-			os.Exit(2)
+			exit(2)
 		}
 		runBatch(*batch, *count, *jobs, *reuse, batchTemplate{
 			method:    *method,
@@ -178,12 +184,12 @@ func main() {
 	res, err := core.Solve(context.Background(), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		exit(2)
 	}
 	if !res.Solved {
 		fmt.Fprintf(os.Stderr, "unsolved within budget (total %d iterations over %d walkers)\n",
 			res.TotalIterations, len(res.Stats))
-		os.Exit(1)
+		exit(1)
 	}
 	emit(res.Array, *grid, *triangle, *quiet)
 	if !*quiet {
@@ -194,7 +200,7 @@ func main() {
 			p, ok := cluster.Platforms[*platform]
 			if !ok {
 				fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
-				os.Exit(2)
+				exit(2)
 			}
 			fmt.Printf("virtual time on %s: %.3f s\n", p.Name, p.Seconds(res.Iterations))
 		}
@@ -211,17 +217,17 @@ func runModel(spec string, base core.Options, portfolio string, quiet bool) {
 	inst, opts, err := core.ParseRunSpec(spec, base)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		exit(2)
 	}
 	res, err := core.SolveInstance(context.Background(), inst, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		exit(2)
 	}
 	if !res.Solved {
 		fmt.Fprintf(os.Stderr, "%s: unsolved within budget (total %d iterations over %d walkers)\n",
 			inst.Spec, res.TotalIterations, len(res.Stats))
-		os.Exit(1)
+		exit(1)
 	}
 	fmt.Println(res.Array)
 	if !quiet {
@@ -253,7 +259,7 @@ func runBatch(orders string, count, jobs int, reuse bool, tmpl batchTemplate) {
 		n, err := strconv.Atoi(strings.TrimSpace(field))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bad -batch order %q: %v\n", field, err)
-			os.Exit(2)
+			exit(2)
 		}
 		ns = append(ns, n)
 	}
@@ -282,7 +288,7 @@ func runBatch(orders string, count, jobs int, reuse bool, tmpl batchTemplate) {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		exit(2)
 	}
 
 	failed := false
@@ -309,7 +315,7 @@ func runBatch(orders string, count, jobs int, reuse bool, tmpl batchTemplate) {
 			st.Jobs, st.Solved, st.Errors, st.EnginesReused, st.TotalIterations, st.WallTime, st.SolvesPerSec)
 	}
 	if failed {
-		os.Exit(1)
+		exit(1)
 	}
 }
 
@@ -343,18 +349,18 @@ func runCP(n int, maxIter int64, grid, triangle, quiet bool) {
 	s, err := cp.New(n)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		exit(2)
 	}
 	s.SetNodeBudget(maxIter)
 	start := time.Now()
 	sol, err := s.FirstSolution()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		exit(1)
 	}
 	if sol == nil || !costas.IsCostas(sol) {
 		fmt.Fprintln(os.Stderr, "cp: unsolved within budget")
-		os.Exit(1)
+		exit(1)
 	}
 	emit(sol, grid, triangle, quiet)
 	if !quiet {

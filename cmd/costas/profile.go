@@ -1,0 +1,64 @@
+package main
+
+// CPU/heap profiling hooks (-cpuprofile / -memprofile): perf work on the
+// solver should never require code edits to measure. The stop path is
+// guarded by a sync.Once because the CLI exits through both normal main
+// return (deferred stop) and explicit exit() on error paths.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+var (
+	profMu      sync.Once
+	memProfPath string
+)
+
+// startProfiles begins CPU profiling and/or arms the heap-profile dump.
+// Errors are fatal: a requested-but-broken profile is worse than no run.
+func startProfiles(cpuPath, memPath string) {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "costas: -cpuprofile:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "costas: -cpuprofile:", err)
+			os.Exit(2)
+		}
+	}
+	memProfPath = memPath
+}
+
+// stopProfiles flushes the CPU profile and writes the heap profile; safe to
+// call more than once.
+func stopProfiles() {
+	profMu.Do(func() {
+		pprof.StopCPUProfile()
+		if memProfPath == "" {
+			return
+		}
+		f, err := os.Create(memProfPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "costas: -memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialise the final live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "costas: -memprofile:", err)
+		}
+	})
+}
+
+// exit flushes any active profiles before terminating: os.Exit skips
+// deferred calls, so every explicit exit in this command routes here.
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
+}

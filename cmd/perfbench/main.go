@@ -1,0 +1,329 @@
+// Command perfbench records the repository's performance trajectory: it
+// runs the paper-table macro-benchmarks and the CAP hot-path kernel
+// microbenches through testing.Benchmark and emits machine-readable
+// BENCH_costas.json, comparing against the previously recorded numbers.
+//
+// Usage:
+//
+//	perfbench                          # full run, write BENCH_costas.json
+//	perfbench -smoke                   # quick CI mode + allocation gate
+//	perfbench -benchtime 5s -out /tmp/bench.json
+//	perfbench -baseline BENCH_costas.json
+//
+// In -smoke mode each benchmark runs a fixed small iteration count (fast
+// enough for CI) and the run FAILS (exit 1) if any steady-state benchmark
+// — the kernel microbenches and the post-Bind engine loop — reports a
+// non-zero allocs/op: the zero-allocation hot path is a regression gate,
+// not an aspiration.
+//
+// When a baseline file is present (by default the committed
+// BENCH_costas.json), each benchmark also reports the recorded baseline
+// ns/op and the speedup of this run against it, so the committed file
+// carries the before/after trajectory from PR to PR.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/costas"
+	"repro/internal/csp"
+	"repro/internal/rng"
+	"repro/internal/walk"
+
+	"context"
+)
+
+// Result is one benchmark's record in the BENCH_costas.json schema
+// (documented in README.md).
+type Result struct {
+	// Name identifies the benchmark: "kernel/..." are hot-path
+	// microbenches, "engine/..." steady-state engine loops, "tableN/..."
+	// paper-table macro units.
+	Name string `json:"name"`
+	// NsOp is wall nanoseconds per operation.
+	NsOp float64 `json:"ns_op"`
+	// AllocsOp / BytesOp are heap allocations and bytes per operation.
+	AllocsOp int64 `json:"allocs_op"`
+	BytesOp  int64 `json:"bytes_op"`
+	// ItersOp is engine repair iterations per operation for solve
+	// benchmarks (the machine-independent work unit of the paper).
+	ItersOp float64 `json:"iters_op,omitempty"`
+	// BaselineNsOp is the previously recorded ns/op for this benchmark
+	// (from the -baseline file), and Speedup = BaselineNsOp / NsOp.
+	BaselineNsOp float64 `json:"baseline_ns_op,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`
+	// SteadyState marks benchmarks gated to 0 allocs/op in -smoke mode.
+	SteadyState bool `json:"steady_state,omitempty"`
+}
+
+// File is the top-level BENCH_costas.json document.
+type File struct {
+	Schema     string   `json:"schema"`
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPUs       int      `json:"cpus"`
+	Benchtime  string   `json:"benchtime"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+var sink int // defeats dead-code elimination in the microbenches
+
+// runAll executes the benchmark suite at the given benchtime and returns
+// the results in declaration order. A benchmark that aborts (b.Fatal
+// inside testing.Benchmark yields a zero result) surfaces as an error —
+// zero ns/op must never be recorded as a real measurement.
+func runAll(benchtime string) ([]Result, error) {
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return nil, fmt.Errorf("invalid benchtime %q: %w", benchtime, err)
+	}
+	var failed error
+	out := make([]Result, 0, 8)
+	add := func(name string, steady bool, iters float64, r testing.BenchmarkResult) {
+		if r.N == 0 && failed == nil {
+			failed = fmt.Errorf("benchmark %s failed (zero result: a solve aborted or the benchmark called Fatal)", name)
+		}
+		out = append(out, Result{
+			Name:        name,
+			NsOp:        float64(r.NsPerOp()),
+			AllocsOp:    r.AllocsPerOp(),
+			BytesOp:     r.AllocedBytesPerOp(),
+			ItersOp:     iters,
+			SteadyState: steady,
+		})
+	}
+
+	// kernel/swap_delta_n18 — the min-conflict probe kernel itself: pure
+	// read-only delta evaluation over the flattened difference triangle.
+	{
+		m := costas.New(18, costas.Options{})
+		m.Bind(csp.RandomConfiguration(18, rng.New(1)))
+		add("kernel/swap_delta_n18", true, 0, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			s := 0
+			for k := 0; k < b.N; k++ {
+				i := k % 18
+				j := (i + 1 + k%17) % 18
+				s += m.SwapDelta(i, j)
+			}
+			sink = s
+		}))
+	}
+
+	// kernel/cost_if_swap_n18 — the same probe through the plain
+	// csp.Model interface (what non-delta engines pay).
+	{
+		m := costas.New(18, costas.Options{})
+		m.Bind(csp.RandomConfiguration(18, rng.New(1)))
+		add("kernel/cost_if_swap_n18", true, 0, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			s := 0
+			for k := 0; k < b.N; k++ {
+				i := k % 18
+				j := (i + 1 + k%17) % 18
+				s += m.CostIfSwap(i, j)
+			}
+			sink = s
+		}))
+	}
+
+	// kernel/commit_swap_n18 — the write path: probe once, commit with
+	// the probed delta (the DeltaModel contract engines use).
+	{
+		m := costas.New(18, costas.Options{})
+		m.Bind(csp.RandomConfiguration(18, rng.New(1)))
+		add("kernel/commit_swap_n18", true, 0, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for k := 0; k < b.N; k++ {
+				i := k % 18
+				j := (i + 1 + k%17) % 18
+				m.CommitSwap(i, j, m.SwapDelta(i, j))
+			}
+		}))
+	}
+
+	// kernel/bind_n18 — full counter rebuild (reset/restart path).
+	{
+		m := costas.New(18, costas.Options{})
+		cfg := csp.RandomConfiguration(18, rng.New(1))
+		add("kernel/bind_n18", true, 0, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for k := 0; k < b.N; k++ {
+				m.Bind(cfg)
+			}
+		}))
+	}
+
+	// engine/adaptive_steady_n18 — one repair iteration of the post-Bind
+	// Adaptive Search loop, restarts included; the 0 allocs/op gate.
+	{
+		m := costas.New(18, costas.Options{})
+		e := adaptive.NewEngine(m, costas.TunedParams(18), 7)
+		scratch := make([]int, 18)
+		reseed := rng.New(99)
+		e.Step(512) // warm past one-time work
+		add("engine/adaptive_steady_n18", true, 0, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for k := 0; k < b.N; k++ {
+				if e.Solved() {
+					reseed.PermInto(scratch)
+					e.RestartFrom(scratch)
+				}
+				e.Step(1)
+			}
+		}))
+	}
+
+	// table1/sequential_n13 — Table I's unit of work: one sequential
+	// Adaptive Search solve from a fresh random configuration (the
+	// BenchmarkTableISequential counterpart, seeds k+1).
+	{
+		var iters, ops int64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for k := 0; k < b.N; k++ {
+				m := costas.New(13, costas.Options{})
+				e := adaptive.NewEngine(m, costas.TunedParams(13), uint64(k)+1)
+				if !e.Solve() {
+					b.Fatal("unsolved")
+				}
+				iters += e.Stats().Iterations
+				ops++
+			}
+		})
+		add("table1/sequential_n13", false, float64(iters)/float64(ops), r)
+	}
+
+	// table3/multiwalk_virtual32_n13 — Table III's unit: one 32-core
+	// virtual multi-walk solve on the lockstep cluster.
+	{
+		factory := func() csp.Model { return costas.New(13, costas.Options{}) }
+		var iters, ops int64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for k := 0; k < b.N; k++ {
+				res := walk.Virtual(context.Background(), factory, walk.Config{
+					Walkers:    32,
+					Factory:    adaptive.Factory(costas.TunedParams(13)),
+					MasterSeed: uint64(k)*7919 + 1,
+				}, 0)
+				if !res.Solved {
+					b.Fatal("unsolved")
+				}
+				iters += res.WinnerIterations
+				ops++
+			}
+		})
+		add("table3/multiwalk_virtual32_n13", false, float64(iters)/float64(ops), r)
+	}
+
+	return out, failed
+}
+
+// mergeBaseline fills BaselineNsOp/Speedup from a previously recorded file.
+func mergeBaseline(results []Result, baseline *File) {
+	prev := map[string]Result{}
+	for _, b := range baseline.Benchmarks {
+		prev[b.Name] = b
+	}
+	for i := range results {
+		if p, ok := prev[results[i].Name]; ok && p.NsOp > 0 && results[i].NsOp > 0 {
+			results[i].BaselineNsOp = p.NsOp
+			results[i].Speedup = p.NsOp / results[i].NsOp
+		}
+	}
+}
+
+func main() {
+	var (
+		smoke     = flag.Bool("smoke", false, "CI mode: fixed small iteration counts + fail on steady-state allocs/op > 0")
+		benchtime = flag.String("benchtime", "", `testing benchtime (default "2s", or "100x" with -smoke)`)
+		out       = flag.String("out", "BENCH_costas.json", "output file (\"-\" for stdout)")
+		baseline  = flag.String("baseline", "BENCH_costas.json", "recorded baseline to compare against (skipped if missing)")
+	)
+	flag.Parse()
+	testing.Init()
+
+	bt := *benchtime
+	if bt == "" {
+		if *smoke {
+			bt = "100x"
+		} else {
+			bt = "2s"
+		}
+	}
+
+	var base *File
+	if *baseline != "" {
+		if raw, err := os.ReadFile(*baseline); err == nil {
+			var f File
+			if err := json.Unmarshal(raw, &f); err != nil {
+				fmt.Fprintf(os.Stderr, "perfbench: bad baseline %s: %v\n", *baseline, err)
+				os.Exit(2)
+			}
+			base = &f
+		}
+	}
+
+	results, err := runAll(bt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(2)
+	}
+	if base != nil {
+		mergeBaseline(results, base)
+	}
+
+	doc := File{
+		Schema:     "bench_costas/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Benchtime:  bt,
+		Benchmarks: results,
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(2)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(2)
+		}
+	}
+
+	failed := false
+	for _, r := range results {
+		line := fmt.Sprintf("%-32s %12.0f ns/op %8d allocs/op", r.Name, r.NsOp, r.AllocsOp)
+		if r.ItersOp > 0 {
+			line += fmt.Sprintf(" (%.0f iters/op)", r.ItersOp)
+		}
+		if r.Speedup > 0 {
+			line += fmt.Sprintf("  %.2fx vs baseline", r.Speedup)
+		}
+		fmt.Fprintln(os.Stderr, line)
+		if *smoke && r.SteadyState && r.AllocsOp > 0 {
+			fmt.Fprintf(os.Stderr, "perfbench: FAIL: %s allocates %d allocs/op; the steady-state hot path must be allocation-free\n",
+				r.Name, r.AllocsOp)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -14,6 +14,10 @@
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, running
 // solves are cancelled at their next probe quantum, async jobs drain.
+//
+// -pprof localhost:6060 serves net/http/pprof on a separate listener
+// (never on the API address), so a live server can be profiled with
+// `go tool pprof http://localhost:6060/debug/pprof/profile`.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux, served only by the -pprof listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,8 +45,21 @@ func main() {
 		maxBatch   = flag.Int("max-batch", 1024, "per-batch job cap")
 		timeout    = flag.Duration("timeout", 0, "default per-request solve deadline (0 = none)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (separate listener, e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
+
+	// Profiling sidecar: pprof lives on its own listener so it is never
+	// exposed on the API address and perf investigations on a live server
+	// need no code edits or restarts with special builds.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("solverd: pprof listening on %s (/debug/pprof/)", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("solverd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	srv := service.New(service.Config{
 		Workers:        *workers,

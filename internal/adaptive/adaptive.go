@@ -104,6 +104,7 @@ type Stats = csp.Stats
 // goroutine (see internal/walk).
 type Engine struct {
 	model  csp.Model
+	dm     csp.DeltaModel // non-nil iff model implements the hot-path contract
 	params Params
 	r      *rng.RNG
 
@@ -155,6 +156,9 @@ func NewEngine(model csp.Model, params Params, seed uint64) *Engine {
 		tabuUntil: make([]int64, n),
 		bestJs:    make([]int, 0, n),
 	}
+	// Probe through the read-only delta kernel when the model has one;
+	// resolved once here so the min-conflict scan pays no type assertion.
+	e.dm, _ = model.(csp.DeltaModel)
 	e.cfg = csp.RandomConfiguration(n, e.r)
 	model.Bind(e.cfg)
 	e.solved = model.Cost() == 0
@@ -237,13 +241,13 @@ func (e *Engine) iterate() bool {
 	action := ""
 	switch {
 	case bestJ >= 0 && bestCost < cost:
-		m.ExecSwap(culprit, bestJ)
+		e.commit(culprit, bestJ, bestCost-cost)
 		e.stats.Swaps++
 		action = "improve"
 	case bestJ >= 0 && bestCost == cost:
 		// Plateau (§III-B1): follow with probability p, else freeze.
 		if e.r.Float64() < e.params.PlateauProb {
-			m.ExecSwap(culprit, bestJ)
+			e.commit(culprit, bestJ, 0)
 			e.stats.PlateauMoves++
 			action = "plateau"
 		} else {
@@ -256,7 +260,7 @@ func (e *Engine) iterate() bool {
 		// (diversification), otherwise freeze the culprit.
 		e.stats.LocalMinima++
 		if bestJ >= 0 && e.r.Float64() < e.params.ProbSelectLocMin {
-			m.ExecSwap(culprit, bestJ)
+			e.commit(culprit, bestJ, bestCost-cost)
 			e.stats.UphillMoves++
 			action = "uphill"
 		} else {
@@ -303,6 +307,7 @@ func (e *Engine) selectCulprit() (culprit int, ok bool) {
 // minimum when nothing improves.
 func (e *Engine) minConflict(culprit int) (bestCost, bestJ int) {
 	m := e.model
+	dm := e.dm
 	n := len(e.cfg)
 	bestCost = int(^uint(0) >> 1)
 	bestJ = -1
@@ -321,7 +326,12 @@ func (e *Engine) minConflict(culprit int) (bestCost, bestJ int) {
 		if j == culprit {
 			continue
 		}
-		c := m.CostIfSwap(culprit, j)
+		var c int
+		if dm != nil {
+			c = cur + dm.SwapDelta(culprit, j)
+		} else {
+			c = m.CostIfSwap(culprit, j)
+		}
 		if e.params.FirstBest && c < cur {
 			return c, j
 		}
@@ -337,6 +347,17 @@ func (e *Engine) minConflict(culprit int) (bestCost, bestJ int) {
 		bestJ = e.bestJs[e.r.Intn(len(e.bestJs))]
 	}
 	return bestCost, bestJ
+}
+
+// commit executes the winning swap. The delta kernel path hands the model
+// the delta minConflict just computed, so the commit performs only the
+// counter writes; plain models re-derive it inside ExecSwap.
+func (e *Engine) commit(i, j, delta int) {
+	if e.dm != nil {
+		e.dm.CommitSwap(i, j, delta)
+	} else {
+		e.model.ExecSwap(i, j)
+	}
 }
 
 // markTabu freezes a variable for TabuTenure iterations and fires a reset

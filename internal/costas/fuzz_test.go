@@ -9,6 +9,10 @@ package costas
 //   - cost == 0 exactly when the configuration is a Costas array;
 //   - CostIfSwap agrees with a from-scratch recomputation of the swapped
 //     configuration and leaves no visible state behind;
+//   - SwapDelta(i, j) == CostIfSwap(i, j) − Cost() (the csp.DeltaModel
+//     identity) and a probe leaves every difference-triangle counter
+//     bit-for-bit untouched (the kernel is genuinely read-only — no
+//     mutate-and-rollback);
 //   - ExecSwap keeps the incremental counters equal to a full rebuild.
 //
 // The fuzz input is one seed (the random permutation) plus a script whose
@@ -79,13 +83,24 @@ func FuzzCostasCost(f *testing.F) {
 		}
 
 		check("bind")
+		cntSnapshot := make([]int32, len(m.cnt))
 		for k := 0; k+1 < len(swaps); k += 2 {
 			i, j := int(swaps[k])%n, int(swaps[k+1])%n
 			hyp := append([]int(nil), cfg...)
 			hyp[i], hyp[j] = hyp[j], hyp[i]
 			want := costasFullCost(opts, hyp)
+			copy(cntSnapshot, m.cnt)
 			if got := m.CostIfSwap(i, j); got != want {
 				t.Fatalf("CostIfSwap(%d,%d) = %d, full recompute %d (cfg %v)", i, j, got, want, cfg)
+			}
+			if got, wantDelta := m.SwapDelta(i, j), want-m.Cost(); got != wantDelta {
+				t.Fatalf("SwapDelta(%d,%d) = %d, CostIfSwap−Cost = %d (cfg %v)", i, j, got, wantDelta, cfg)
+			}
+			for s := range cntSnapshot {
+				if m.cnt[s] != cntSnapshot[s] {
+					t.Fatalf("probe of swap(%d,%d) wrote counter %d: %d → %d (cfg %v)",
+						i, j, s, cntSnapshot[s], m.cnt[s], cfg)
+				}
 			}
 			if got := m.Cost(); got != costasFullCost(opts, cfg) {
 				t.Fatalf("CostIfSwap(%d,%d) mutated state: cost now %d (cfg %v)", i, j, got, cfg)

@@ -68,26 +68,29 @@ type Model struct {
 
 	cfg []int // bound configuration (shared with the engine)
 
-	// cnt[d][v + n − 1] = occurrences of difference v in row d.
-	cnt  [][]int
-	cost int
+	// cnt is the difference-triangle counter matrix, flattened into one
+	// contiguous block for cache locality: row d (1-based) starts at
+	// rowBase[d] = (d−1)·width with width = 2n−1, and
+	// cnt[rowBase[d] + v + n − 1] is the number of occurrences of
+	// difference v in row d. int32 halves the footprint versus int — every
+	// checked row of an order-18 instance fits in a handful of cache lines.
+	cnt     []int32
+	rowBase []int
+	cost    int
 
 	varCost  []int
 	varDirty bool
 
 	genericReset bool
 
-	// Scratch space (no allocation on the hot path).
-	undo      []undoEntry
+	// Scratch space (no allocation on the hot path; capacities are fixed
+	// at construction and never grow — see TestScratchCapacityBounded).
 	cand      []int // candidate configuration built by Reset
 	best      []int // best candidate seen by Reset
 	errVars   []int // indices of erroneous variables (Reset perturbation 3)
+	resetKs   []int // circular-addition constants of §IV-B2, precomputed
 	seenReset []int // per-row seen marks for scanCost; value = generation tag
 	seenGen   int
-}
-
-type undoEntry struct {
-	d, idx, delta int
 }
 
 // New returns a CAP model of order n with the given options.
@@ -100,16 +103,20 @@ func New(n int, opts Options) *Model {
 	if opts.FullTriangle {
 		depth = n - 1
 	}
+	width := 2*n - 1
 	m := &Model{
 		n:            n,
 		depth:        depth,
 		w:            make([]int, depth+1),
-		cnt:          make([][]int, depth+1),
+		cnt:          make([]int32, depth*width),
+		rowBase:      make([]int, depth+1),
 		varCost:      make([]int, n),
 		genericReset: opts.GenericReset,
 		cand:         make([]int, n),
 		best:         make([]int, n),
-		seenReset:    make([]int, (depth+1)*(2*n-1)),
+		errVars:      make([]int, 0, n),
+		resetKs:      resetConstants(n),
+		seenReset:    make([]int, (depth+1)*width),
 	}
 	for d := 1; d <= depth; d++ {
 		if opts.Err == ErrUnit {
@@ -117,7 +124,7 @@ func New(n int, opts Options) *Model {
 		} else {
 			m.w[d] = n*n - d*d
 		}
-		m.cnt[d] = make([]int, 2*n-1)
+		m.rowBase[d] = (d - 1) * width
 	}
 	return m
 }
@@ -151,13 +158,14 @@ func (m *Model) Bind(cfg []int) {
 	}
 	m.cfg = cfg
 	m.cost = 0
+	for i := range m.cnt {
+		m.cnt[i] = 0
+	}
+	off := m.n - 1
 	for d := 1; d <= m.depth; d++ {
-		row := m.cnt[d]
-		for i := range row {
-			row[i] = 0
-		}
+		row := m.cnt[m.rowBase[d] : m.rowBase[d]+2*m.n-1]
 		for i := 0; i+d < m.n; i++ {
-			v := cfg[i+d] - cfg[i] + m.n - 1
+			v := cfg[i+d] - cfg[i] + off
 			row[v]++
 			if row[v] > 1 {
 				m.cost += m.w[d]
@@ -191,10 +199,11 @@ func (m *Model) recomputeVarCosts() {
 	}
 	// The row counters are maintained incrementally, so one pass over the
 	// triangle suffices: a pair is conflicting iff its value's count ≥ 2.
+	off := m.n - 1
 	for d := 1; d <= m.depth; d++ {
-		row := m.cnt[d]
+		row := m.cnt[m.rowBase[d]:]
 		for i := 0; i+d < m.n; i++ {
-			v := m.cfg[i+d] - m.cfg[i] + m.n - 1
+			v := m.cfg[i+d] - m.cfg[i] + off
 			if row[v] >= 2 {
 				m.varCost[i] += m.w[d]
 				m.varCost[i+d] += m.w[d]
@@ -204,101 +213,243 @@ func (m *Model) recomputeVarCosts() {
 	m.varDirty = false
 }
 
-// CostIfSwap implements csp.Model: O(depth) hypothetical evaluation via the
-// row counters with an undo log; no visible state changes.
+// CostIfSwap implements csp.Model: O(depth) read-only hypothetical
+// evaluation via SwapDelta.
 func (m *Model) CostIfSwap(i, j int) int {
-	if i == j {
-		return m.cost
-	}
-	delta := m.swapDelta(i, j)
-	// Roll back the counter changes recorded by swapDelta.
-	for k := len(m.undo) - 1; k >= 0; k-- {
-		u := m.undo[k]
-		m.cnt[u.d][u.idx] -= u.delta
-	}
-	m.undo = m.undo[:0]
-	return m.cost + delta
+	return m.cost + m.SwapDelta(i, j)
 }
 
 // ExecSwap implements csp.Model: commit the swap and the counter deltas.
 func (m *Model) ExecSwap(i, j int) {
+	m.CommitSwap(i, j, m.SwapDelta(i, j))
+}
+
+// SwapDelta implements csp.DeltaModel: the global-cost change a swap of
+// positions i and j would cause, computed purely by *reading* the row
+// counters — no counter writes, no undo log. This is the min-conflict probe
+// kernel: Adaptive Search calls it ~n times per iteration, so it must not
+// touch memory it would have to repair.
+//
+// Per checked row d at most four pairs change their difference: (i−d, i),
+// (i, i+d), (j−d, j) and (j, j+d) — with (i, j) itself appearing once when
+// j−i = d. A row's cost is Σ_v max(0, count_v−1)·ERR(d), so the row's delta
+// is ERR(d)·Σ_v [max(0, count_v+net_v−1) − max(0, count_v−1)] over the ≤ 8
+// difference values those pairs leave (net_v) or join (net_v positive).
+// The tiny value/net merge tables live in registers/stack — the only memory
+// reads are cfg and the ≤ 8 counter loads per row.
+func (m *Model) SwapDelta(i, j int) int {
+	if i == j {
+		return 0
+	}
+	if j < i {
+		i, j = j, i
+	}
+	cfg := m.cfg
+	n := m.n
+	vi, vj := cfg[i], cfg[j]
+	off := n - 1
+	cnt := m.cnt
+	w := m.w
+	width := 2*n - 1
+	delta := 0
+	base := 0
+	for d := 1; d <= m.depth; d, base = d+1, base+width {
+		row := cnt[base : base+width]
+		// Gather the ≤ 4 pairs of row d whose difference changes (po/pn:
+		// old/new counter index per pair) and accumulate the row's delta
+		// optimistically, assuming all touched values are distinct — each
+		// removal then loses one error iff its count ≥ 2, each addition
+		// gains one iff its count ≥ 1. A uint64 bitmask over the value
+		// indexes detects the rare same-row value collision (two pairs
+		// leaving/joining the same difference), in which case the net
+		// per-value merge in slowRowDelta re-derives the row exactly.
+		// (For n ≥ 33 the v&63 bit folding can flag spurious collisions —
+		// never miss real ones — which only costs the slow path.)
+		var po, pn [4]int
+		np := 0
+		rowDelta := 0
+		mask := uint64(0)
+		clean := true
+		if a := i - d; a >= 0 {
+			ov, nv := vi-cfg[a]+off, vj-cfg[a]+off
+			if ov != nv {
+				po[np], pn[np] = ov, nv
+				np++
+				mask = 1<<uint(ov&63) | 1<<uint(nv&63)
+				if row[ov] >= 2 {
+					rowDelta--
+				}
+				if row[nv] >= 1 {
+					rowDelta++
+				}
+			}
+		}
+		if b := i + d; b < n {
+			ov, nv := cfg[b]-vi+off, cfg[b]-vj+off
+			if b == j {
+				nv = vi - vj + off // the (i, j) pair itself reverses sign
+			}
+			if ov != nv {
+				po[np], pn[np] = ov, nv
+				np++
+				bm := uint64(1)<<uint(ov&63) | 1<<uint(nv&63)
+				clean = clean && mask&bm == 0
+				mask |= bm
+				if row[ov] >= 2 {
+					rowDelta--
+				}
+				if row[nv] >= 1 {
+					rowDelta++
+				}
+			}
+		}
+		if a := j - d; a >= 0 && a != i {
+			ov, nv := vj-cfg[a]+off, vi-cfg[a]+off
+			if ov != nv {
+				po[np], pn[np] = ov, nv
+				np++
+				bm := uint64(1)<<uint(ov&63) | 1<<uint(nv&63)
+				clean = clean && mask&bm == 0
+				mask |= bm
+				if row[ov] >= 2 {
+					rowDelta--
+				}
+				if row[nv] >= 1 {
+					rowDelta++
+				}
+			}
+		}
+		if b := j + d; b < n { // b > j > i, so b ≠ i
+			ov, nv := cfg[b]-vj+off, cfg[b]-vi+off
+			if ov != nv {
+				po[np], pn[np] = ov, nv
+				np++
+				bm := uint64(1)<<uint(ov&63) | 1<<uint(nv&63)
+				clean = clean && mask&bm == 0
+				if row[ov] >= 2 {
+					rowDelta--
+				}
+				if row[nv] >= 1 {
+					rowDelta++
+				}
+			}
+		}
+		if !clean {
+			rowDelta = slowRowDelta(row, &po, &pn, np)
+		}
+		delta += w[d] * rowDelta
+	}
+	return delta
+}
+
+// slowRowDelta is SwapDelta's collision path: two changed pairs of one row
+// touched the same difference value, so per-value net count adjustments are
+// merged explicitly and the row's cost delta is recomputed from
+// Σ_v max(0, count_v−1). Rare (the fast path's bitmask catches it), so
+// clarity beats speed here.
+func slowRowDelta(row []int32, po, pn *[4]int, np int) int {
+	var vals, net [8]int
+	nt := 0
+	for k := 0; k < np; k++ {
+		v := po[k]
+		t := 0
+		for ; t < nt; t++ {
+			if vals[t] == v {
+				break
+			}
+		}
+		if t == nt {
+			vals[nt] = v
+			nt++
+		}
+		net[t]--
+		v = pn[k]
+		for t = 0; t < nt; t++ {
+			if vals[t] == v {
+				break
+			}
+		}
+		if t == nt {
+			vals[nt] = v
+			nt++
+		}
+		net[t]++
+	}
+	rowDelta := 0
+	for t := 0; t < nt; t++ {
+		nv := net[t]
+		if nv == 0 {
+			continue
+		}
+		c := int(row[vals[t]])
+		before := c - 1
+		if before < 0 {
+			before = 0
+		}
+		after := c + nv - 1
+		if after < 0 {
+			after = 0
+		}
+		rowDelta += after - before
+	}
+	return rowDelta
+}
+
+// CommitSwap implements csp.DeltaModel: commit the swap, trusting delta
+// (the caller's just-computed SwapDelta(i, j)) for the new global cost.
+// This is the ONLY write path over the counters on the solve loop; it
+// re-enumerates the changed pairs but skips all cost accounting.
+func (m *Model) CommitSwap(i, j, delta int) {
 	if i == j {
 		return
 	}
-	delta := m.swapDelta(i, j)
-	m.undo = m.undo[:0]
-	m.cfg[i], m.cfg[j] = m.cfg[j], m.cfg[i]
+	if j < i {
+		i, j = j, i
+	}
+	cfg := m.cfg
+	n := m.n
+	vi, vj := cfg[i], cfg[j]
+	off := n - 1
+	cnt := m.cnt
+	width := 2*n - 1
+	base := 0
+	for d := 1; d <= m.depth; d, base = d+1, base+width {
+		row := cnt[base : base+width]
+		if a := i - d; a >= 0 {
+			ov, nv := vi-cfg[a], vj-cfg[a]
+			if ov != nv {
+				row[ov+off]--
+				row[nv+off]++
+			}
+		}
+		if b := i + d; b < n {
+			ov, nv := cfg[b]-vi, cfg[b]-vj
+			if b == j {
+				nv = vi - vj
+			}
+			if ov != nv {
+				row[ov+off]--
+				row[nv+off]++
+			}
+		}
+		if a := j - d; a >= 0 && a != i {
+			ov, nv := vj-cfg[a], vi-cfg[a]
+			if ov != nv {
+				row[ov+off]--
+				row[nv+off]++
+			}
+		}
+		if b := j + d; b < n {
+			ov, nv := cfg[b]-vj, cfg[b]-vi
+			if ov != nv {
+				row[ov+off]--
+				row[nv+off]++
+			}
+		}
+	}
+	cfg[i], cfg[j] = vj, vi
 	m.cost += delta
 	m.varDirty = true
-}
-
-// swapDelta applies to the row counters the changes a swap of positions i, j
-// would cause, records every counter touch in m.undo, and returns the global
-// cost delta. cfg is the pre-swap configuration throughout.
-func (m *Model) swapDelta(i, j int) int {
-	cfg := m.cfg
-	vi, vj := cfg[i], cfg[j]
-	delta := 0
-
-	// newAt returns the post-swap value at position p.
-	newAt := func(p int) int {
-		switch p {
-		case i:
-			return vj
-		case j:
-			return vi
-		default:
-			return cfg[p]
-		}
-	}
-
-	// touch updates one pair (a, b) of row d = b−a from its old difference
-	// to its new one, adjusting counters and cost delta.
-	touch := func(a, b int) {
-		d := b - a
-		if d < 1 || d > m.depth {
-			return
-		}
-		oldV := cfg[b] - cfg[a] + m.n - 1
-		newV := newAt(b) - newAt(a) + m.n - 1
-		if oldV == newV {
-			return
-		}
-		row := m.cnt[d]
-		// Remove old occurrence: count c → c−1 drops one error iff c ≥ 2.
-		if row[oldV] >= 2 {
-			delta -= m.w[d]
-		}
-		row[oldV]--
-		m.undo = append(m.undo, undoEntry{d, oldV, -1})
-		// Add new occurrence: count c → c+1 adds one error iff c ≥ 1.
-		if row[newV] >= 1 {
-			delta += m.w[d]
-		}
-		row[newV]++
-		m.undo = append(m.undo, undoEntry{d, newV, +1})
-	}
-
-	// All pairs containing position i.
-	for d := 1; d <= m.depth; d++ {
-		if a := i - d; a >= 0 {
-			touch(a, i)
-		}
-		if b := i + d; b < m.n {
-			touch(i, b)
-		}
-	}
-	// All pairs containing position j but not i (those were just handled;
-	// the shared pair is (i, j) itself when j−i ≤ depth).
-	for d := 1; d <= m.depth; d++ {
-		if a := j - d; a >= 0 && a != i {
-			touch(a, j)
-		}
-		if b := j + d; b < m.n && b != i {
-			touch(j, b)
-		}
-	}
-	return delta
 }
 
 // scanCost computes the global cost of an arbitrary configuration without
@@ -335,6 +486,7 @@ func (m *Model) String() string {
 }
 
 var _ csp.Model = (*Model)(nil)
+var _ csp.DeltaModel = (*Model)(nil)
 var _ csp.Resetter = (*Model)(nil)
 
 // Reset implements csp.Resetter with the dedicated escape procedure of
@@ -404,7 +556,7 @@ func (m *Model) Reset(cfg []int, r *rng.RNG) int {
 
 	// Perturbation 2: circular constant addition.
 	if !improved {
-		for _, k := range m.resetConstants() {
+		for _, k := range m.resetKs {
 			for p := 0; p < n; p++ {
 				m.cand[p] = (cfg[p] + k) % n
 			}
@@ -456,9 +608,9 @@ func (m *Model) shiftTry(cfg []int, lo, hi int, try func() bool) bool {
 }
 
 // resetConstants returns the circular-addition constants of §IV-B2 (1, 2,
-// n−2, n−3), filtered and deduplicated for small n.
-func (m *Model) resetConstants() []int {
-	n := m.n
+// n−2, n−3), filtered and deduplicated for small n. It is called once at
+// construction (m.resetKs) so Reset allocates nothing.
+func resetConstants(n int) []int {
 	raw := [4]int{1, 2, n - 2, n - 3}
 	out := make([]int, 0, 4)
 	for _, k := range raw {

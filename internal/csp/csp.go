@@ -62,6 +62,39 @@ type Model interface {
 	ExecSwap(i, j int)
 }
 
+// DeltaModel is the hot-path extension of Model for engines that probe many
+// swaps per committed move (the Adaptive Search min-conflict scan evaluates
+// ~n candidates and commits one). It exposes the move evaluation as a pure
+// cost *delta* and lets the caller commit the winning swap without the model
+// recomputing the delta it just reported:
+//
+//	SwapDelta(i, j)        ≡ CostIfSwap(i, j) − Cost(), with NO writes to
+//	                         any internal state (read-only probe);
+//	CommitSwap(i, j, d)    ≡ ExecSwap(i, j), but trusts d == SwapDelta(i, j)
+//	                         and skips the delta recomputation.
+//
+// CommitSwap's delta argument MUST be the value SwapDelta (or
+// CostIfSwap − Cost) returned for the same (i, j) against the current
+// configuration; passing anything else silently corrupts the incremental
+// cost. Engines type-assert for this interface once at construction and
+// fall back to CostIfSwap/ExecSwap for plain Models, so implementing it is
+// strictly an optimisation — the conformance and parity suites hold both
+// paths to bit-identical trajectories.
+type DeltaModel interface {
+	Model
+
+	// SwapDelta returns the global-cost change that swapping positions i
+	// and j would cause. It must not write to any internal state — not
+	// even transiently (no mutate-and-rollback): read-only probing is what
+	// keeps the min-conflict scan memory-bandwidth-cheap.
+	SwapDelta(i, j int) int
+
+	// CommitSwap swaps positions i and j of the bound configuration and
+	// updates incremental state, trusting delta (the caller's just-computed
+	// SwapDelta(i, j)) for the new global cost.
+	CommitSwap(i, j, delta int)
+}
+
 // Resetter is implemented by models providing a dedicated escape procedure
 // from local minima, replacing the engine's generic percentage reset — the
 // paper's custom CAP reset (§IV-B2) is the canonical example. Reset may

@@ -46,6 +46,7 @@ type Stats = csp.Stats
 // Solver runs Dialectic Search on a permutation model.
 type Solver struct {
 	model  csp.Model
+	dm     csp.DeltaModel // non-nil iff model implements the hot-path contract
 	params Params
 	r      *rng.RNG
 
@@ -61,6 +62,7 @@ type Solver struct {
 	anti    []int
 	synth   []int
 	scratch []int
+	pos     []int // value→position index for synthesize's transposition repair
 }
 
 // Factory wraps params into a csp.Factory for the multi-walk runner and
@@ -84,7 +86,9 @@ func New(model csp.Model, params Params, seed uint64) *Solver {
 		anti:    make([]int, n),
 		synth:   make([]int, n),
 		scratch: make([]int, n),
+		pos:     make([]int, n),
 	}
+	s.dm, _ = model.(csp.DeltaModel)
 	s.cfg = csp.RandomConfiguration(n, s.r)
 	model.Bind(s.cfg)
 	s.best = csp.Clone(s.cfg)
@@ -224,7 +228,12 @@ func (s *Solver) descend() {
 		bestI, bestJ, bestCost := -1, -1, cur
 		for i := 0; i < n-1; i++ {
 			for j := i + 1; j < n; j++ {
-				c := m.CostIfSwap(i, j)
+				var c int
+				if s.dm != nil {
+					c = cur + s.dm.SwapDelta(i, j)
+				} else {
+					c = m.CostIfSwap(i, j)
+				}
 				s.stats.Evaluations++
 				if c < bestCost {
 					bestCost, bestI, bestJ = c, i, j
@@ -234,7 +243,11 @@ func (s *Solver) descend() {
 		if bestI < 0 {
 			return // local minimum
 		}
-		m.ExecSwap(bestI, bestJ)
+		if s.dm != nil {
+			s.dm.CommitSwap(bestI, bestJ, bestCost-cur)
+		} else {
+			m.ExecSwap(bestI, bestJ)
+		}
 		if s.budget() {
 			return
 		}
@@ -267,7 +280,7 @@ func (s *Solver) synthesize() int {
 
 	bestCost := int(^uint(0) >> 1)
 	// Position of each value in scratch, for O(1) transposition repair.
-	pos := make([]int, n)
+	pos := s.pos
 	for i, v := range s.scratch {
 		pos[v] = i
 	}

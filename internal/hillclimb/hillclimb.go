@@ -35,6 +35,7 @@ type Stats = csp.Stats
 // Solver is a random-restart first-improvement hill climber.
 type Solver struct {
 	model  csp.Model
+	dm     csp.DeltaModel // non-nil iff model implements the hot-path contract
 	params Params
 	r      *rng.RNG
 
@@ -59,6 +60,7 @@ func New(model csp.Model, params Params, seed uint64) *Solver {
 		params.SampleFactor = 2
 	}
 	s := &Solver{model: model, params: params, r: rng.New(seed)}
+	s.dm, _ = model.(csp.DeltaModel)
 	s.cfg = csp.RandomConfiguration(model.Size(), s.r)
 	model.Bind(s.cfg)
 	s.solved = model.Cost() == 0
@@ -122,7 +124,14 @@ func (s *Solver) iterate() bool {
 	if i == j {
 		return false
 	}
-	if m.CostIfSwap(i, j) < m.Cost() {
+	if s.dm != nil {
+		if d := s.dm.SwapDelta(i, j); d < 0 {
+			s.dm.CommitSwap(i, j, d)
+			s.stats.Moves++
+			s.sinceImprove = 0
+			return m.Cost() == 0
+		}
+	} else if m.CostIfSwap(i, j) < m.Cost() {
 		m.ExecSwap(i, j)
 		s.stats.Moves++
 		s.sinceImprove = 0

@@ -34,6 +34,7 @@ type Stats = csp.Stats
 // Solver is a single tabu-search run over a permutation model.
 type Solver struct {
 	model  csp.Model
+	dm     csp.DeltaModel // non-nil iff model implements the hot-path contract
 	params Params
 	r      *rng.RNG
 
@@ -70,6 +71,7 @@ func New(model csp.Model, params Params, seed uint64) *Solver {
 		r:      rng.New(seed),
 		tabu:   make([][]int64, n),
 	}
+	s.dm, _ = model.(csp.DeltaModel)
 	for i := range s.tabu {
 		s.tabu[i] = make([]int64, n)
 	}
@@ -136,11 +138,17 @@ func (s *Solver) iterate() bool {
 	s.stats.Iterations++
 	now := s.stats.Iterations
 
+	cur := m.Cost()
 	bestI, bestJ, bestMove := -1, -1, int(^uint(0)>>1)
 	aspired := false
 	for i := 0; i < n-1; i++ {
 		for j := i + 1; j < n; j++ {
-			c := m.CostIfSwap(i, j)
+			var c int
+			if s.dm != nil {
+				c = cur + s.dm.SwapDelta(i, j)
+			} else {
+				c = m.CostIfSwap(i, j)
+			}
 			s.stats.Evaluations++
 			vi, vj := s.cfg[i], s.cfg[j]
 			if vi > vj {
@@ -171,7 +179,11 @@ func (s *Solver) iterate() bool {
 	if aspired {
 		s.stats.Aspirations++
 	}
-	m.ExecSwap(bestI, bestJ)
+	if s.dm != nil {
+		s.dm.CommitSwap(bestI, bestJ, bestMove-cur)
+	} else {
+		m.ExecSwap(bestI, bestJ)
+	}
 
 	if c := m.Cost(); c < s.bestCost {
 		s.bestCost = c
