@@ -17,6 +17,8 @@
 //	costas -model "nqueens n=64"          # any registered model via the registry
 //	costas -model "magicsquare k=5 method=tabu walkers=4"
 //	costas -models                        # list the model catalogue
+//	costas -n 18 -addr localhost:8080     # submit to a solverd node or cluster
+//	costas -batch 14,15 -addr host:8080   # remote batch (sharded by a coordinator)
 //	costas -n 20 -cpuprofile cpu.pb.gz    # profile the solve (go tool pprof)
 //	costas -n 20 -memprofile mem.pb.gz    # heap profile written on exit
 //
@@ -33,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/costas"
@@ -61,6 +64,7 @@ func main() {
 		jobs      = flag.Int("jobs", 0, "concurrent batch jobs (0 = GOMAXPROCS)")
 		reuse     = flag.Bool("reuse", false, "pool engines across compatible batch jobs (hot path)")
 		model     = flag.String("model", "", `registry run spec, e.g. "nqueens n=64 method=tabu" (overrides -n)`)
+		addr      = flag.String("addr", "", "submit to a remote solverd node or coordinator at this address instead of solving in-process")
 		models    = flag.Bool("models", false, "list the registered models and exit")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -107,6 +111,17 @@ func main() {
 		*method = "portfolio" // -portfolio alone implies portfolio mode
 	}
 
+	// -addr swaps the execution backend: every solve (single, -model,
+	// -batch) is submitted over HTTP instead of running in-process.
+	var remote core.Backend
+	if *addr != "" {
+		if *construct || *method == "cp" {
+			fmt.Fprintln(os.Stderr, "-addr submits to the multi-walk service; -construct and -method cp are local-only modes")
+			exit(2)
+		}
+		remote = backend.NewRemote(*addr, backend.RemoteConfig{})
+	}
+
 	if *construct {
 		if *batch != "" {
 			fmt.Fprintln(os.Stderr, "-batch is a search mode; -construct does not support it")
@@ -149,6 +164,7 @@ func main() {
 			Virtual:       *virtual,
 			Seed:          *seed,
 			MaxIterations: *maxIter,
+			Backend:       remote,
 		}, *portfolio, *quiet)
 		return
 	}
@@ -166,6 +182,7 @@ func main() {
 			seed:      *seed,
 			maxIter:   *maxIter,
 			quiet:     *quiet,
+			backend:   remote,
 		})
 		return
 	}
@@ -177,6 +194,7 @@ func main() {
 		Virtual:       *virtual,
 		Seed:          *seed,
 		MaxIterations: *maxIter,
+		Backend:       remote,
 	}
 	if *portfolio != "" {
 		opts.Portfolio = strings.Split(*portfolio, ",")
@@ -247,6 +265,7 @@ type batchTemplate struct {
 	seed      uint64
 	maxIter   int64
 	quiet     bool
+	backend   core.Backend // non-nil submits the batch to a remote cluster (-addr)
 }
 
 // runBatch solves `-batch n1,n2,...` × `-count` concurrently through
@@ -285,6 +304,7 @@ func runBatch(orders string, count, jobs int, reuse bool, tmpl batchTemplate) {
 		Concurrency:  jobs,
 		MasterSeed:   tmpl.seed,
 		ReuseEngines: reuse,
+		Backend:      tmpl.backend,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -32,6 +32,8 @@ import (
 	"time"
 
 	"repro/internal/adaptive"
+	"repro/internal/backend"
+	"repro/internal/core"
 	"repro/internal/costas"
 	"repro/internal/csp"
 	"repro/internal/rng"
@@ -223,6 +225,45 @@ func runAll(benchtime string) ([]Result, error) {
 			}
 		})
 		add("table3/multiwalk_virtual32_n13", false, float64(iters)/float64(ops), r)
+	}
+
+	// pool/batch8_n10_direct vs pool/batch8_n10_sharded2 — the
+	// distribution layer's dispatch overhead: the same 8-job CAP batch
+	// through core.SolveBatch directly and through a backend.Pool over
+	// two Local members (health probes, the work-stealing queue, chunked
+	// dispatch). The ns/op difference is what coordinating costs when the
+	// transport is free; the wire adds on top (see the service bench).
+	{
+		jobs := core.BatchCAP([]int{10, 10, 10, 10, 10, 10, 10, 10}, core.Options{})
+		batchOpts := func(k int) core.BatchOptions {
+			return core.BatchOptions{MasterSeed: uint64(k)*104729 + 1}
+		}
+		run := func(b *testing.B, dispatch func(k int) (core.BatchResult, error)) {
+			b.ReportAllocs()
+			for k := 0; k < b.N; k++ {
+				res, err := dispatch(k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.Solved != len(jobs) {
+					b.Fatalf("solved %d of %d", res.Stats.Solved, len(jobs))
+				}
+			}
+		}
+		add("pool/batch8_n10_direct", false, 0, testing.Benchmark(func(b *testing.B) {
+			run(b, func(k int) (core.BatchResult, error) {
+				return core.SolveBatch(context.Background(), jobs, batchOpts(k))
+			})
+		}))
+		pool, err := backend.NewPool([]backend.Backend{backend.NewLocal(), backend.NewLocal()}, backend.PoolConfig{ChunkSize: 2})
+		if err != nil {
+			return out, err
+		}
+		add("pool/batch8_n10_sharded2", false, 0, testing.Benchmark(func(b *testing.B) {
+			run(b, func(k int) (core.BatchResult, error) {
+				return pool.SolveBatch(context.Background(), jobs, batchOpts(k))
+			})
+		}))
 	}
 
 	return out, failed

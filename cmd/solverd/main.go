@@ -11,6 +11,16 @@
 //	curl -s -X POST localhost:8080/v1/batch \
 //	    -d '{"jobs": [{"model": "costas n=14"}, {"model": "nqueens n=64"}],
 //	         "reuse_engines": true}' | jq .stats
+//	curl -s localhost:8080/metrics | jq .
+//
+// Coordinator mode — one solverd fronting other solverds: pass worker
+// node addresses instead of a worker count and every solve and batch is
+// routed through a health-checked backend.Pool (batch sharding with
+// work-stealing, distributed first-success multi-walk):
+//
+//	solverd -addr :8081 &
+//	solverd -addr :8082 &
+//	solverd -addr :8080 -workers localhost:8081,localhost:8082
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, running
 // solves are cancelled at their next probe quantum, async jobs drain.
@@ -30,9 +40,12 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the DefaultServeMux, served only by the -pprof listener
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/registry"
 	"repro/internal/service"
 )
@@ -40,7 +53,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "concurrent solve requests (0 = GOMAXPROCS)")
+		workers    = flag.String("workers", "0", "an integer: concurrent solve requests (0 = GOMAXPROCS); or a comma-separated worker node list (host1:8080,host2:8080) to run as a coordinator fronting those solverds")
 		maxWalkers = flag.Int("max-walkers", 256, "per-request walker cap")
 		maxBatch   = flag.Int("max-batch", 1024, "per-batch job cap")
 		timeout    = flag.Duration("timeout", 0, "default per-request solve deadline (0 = none)")
@@ -48,6 +61,40 @@ func main() {
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (separate listener, e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
+
+	// -workers doubles as the coordinator switch: a plain integer sizes
+	// the local worker pool, anything else is the node list to front.
+	var (
+		workerCount int
+		pool        *backend.Pool
+	)
+	if n, err := strconv.Atoi(*workers); err == nil {
+		workerCount = n
+	} else {
+		var members []backend.Backend
+		for _, node := range strings.Split(*workers, ",") {
+			node = strings.TrimSpace(node)
+			if node == "" {
+				continue
+			}
+			// Fail fast on typos: a worker node is host:port (or a full
+			// URL), never a bare word — otherwise a mistyped count like
+			// "4x" would boot a cleanly-logging coordinator whose every
+			// request fails.
+			if !strings.Contains(node, ":") {
+				log.Fatalf("solverd: -workers entry %q is neither an integer worker count nor a host:port node address", node)
+			}
+			members = append(members, backend.NewRemote(node, backend.RemoteConfig{}))
+		}
+		p, err := backend.NewPool(members, backend.PoolConfig{})
+		if err != nil {
+			log.Fatalf("solverd: -workers %q: %v", *workers, err)
+		}
+		pool = p
+		// A coordinator's request slots gate HTTP fan-out, not local CPU
+		// work — size them for the fleet, not for this machine's cores.
+		workerCount = 256
+	}
 
 	// Profiling sidecar: pprof lives on its own listener so it is never
 	// exposed on the API address and perf investigations on a live server
@@ -61,15 +108,22 @@ func main() {
 		}()
 	}
 
-	srv := service.New(service.Config{
-		Workers:        *workers,
+	cfg := service.Config{
+		Workers:        workerCount,
 		MaxWalkers:     *maxWalkers,
 		MaxBatchJobs:   *maxBatch,
 		DefaultTimeout: *timeout,
-	})
+	}
+	if pool != nil {
+		cfg.Backend = pool
+	}
+	srv := service.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	go func() {
+		if pool != nil {
+			log.Printf("solverd: coordinating %s over nodes %s", pool.Name(), *workers)
+		}
 		log.Printf("solverd: listening on %s (models: %v)", *addr, registry.Names())
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("solverd: %v", err)

@@ -31,15 +31,23 @@
 // Above the facade sits the serving stack: internal/registry names every
 // model behind declarative specs ("costas n=18", "nqueens n=64
 // method=tabu") with per-entry validation and catalogue metadata, and
-// internal/service exposes solve/batch/jobs/models/healthz over HTTP on
-// a bounded worker pool with an async job store.
+// internal/service exposes solve/batch/jobs/models/healthz/metrics over
+// HTTP on a bounded worker pool with an async job store.
+//
+// Where a solve runs is itself pluggable (internal/backend): Local (in
+// process), Remote (a solverd node over HTTP) or Pool (a health-checked
+// fleet with sharded batches and distributed first-success multi-walk —
+// the paper's cluster-scale scheme with machines in place of cores),
+// selected through core.Options.Backend; a solverd can front other
+// solverds as a coordinator (solverd -workers host1,host2).
 //
 // Entry points:
 //
 //   - internal/core — the solving facade (see examples/quickstart);
 //   - cmd/costas — CLI solver (-method selects the search method,
-//     -model solves any registry spec);
-//   - cmd/solverd — the HTTP solver daemon (internal/service);
+//     -model solves any registry spec, -addr submits to a cluster);
+//   - cmd/solverd — the HTTP solver daemon (internal/service), worker
+//     node or fleet coordinator (internal/backend);
 //   - cmd/enumerate — exhaustive enumeration with published-count oracles;
 //   - cmd/paperbench — regenerates Tables I–V and Figures 2–4;
 //   - bench_test.go (this directory) — testing.B benchmarks, one per

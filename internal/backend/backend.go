@@ -1,0 +1,63 @@
+// Package backend is the execution-backend layer: it makes WHERE a solve
+// runs a pluggable decision. The paper's headline result is cluster-scale
+// multi-walk — hundreds-to-thousands of cores with near-linear speedup —
+// and this package is the repro's version of that fabric:
+//
+//   - Local wraps the in-process run layer (internal/core), bit-identical
+//     to calling core.Solve/SolveBatch directly;
+//   - Remote is an HTTP client speaking solverd's /v1 wire format
+//     (internal/service), with retries, deadline propagation and error
+//     mapping;
+//   - Pool routes work across N backends: health-checked least-loaded
+//     dispatch, batch sharding with work-stealing of the tail, and
+//     distributed first-success multi-walk (§V-A across machines instead
+//     of goroutines) with per-shard chaotic seeds (§III-B3).
+//
+// Every implementation satisfies core.Backend, so it plugs into the
+// facade through core.Options.Backend / core.BatchOptions.Backend, into
+// the HTTP service through service.Config.Backend (a solverd fronting
+// other solverds — the coordinator mode), and into the CLIs through
+// `costas -addr` and `solverd -workers`.
+//
+// Determinism contract: a backend executes a run spec exactly like the
+// in-process registry route (core.SolveSpec), so virtual-mode and
+// sequential solves with explicit seeds are bit-identical wherever they
+// run. Pool preserves that for batches by deriving per-job seeds from the
+// master seed by JOB INDEX before any placement decision — the sharding
+// is invisible in the results.
+package backend
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// Backend is the execution-backend contract. It extends core.Backend
+// (the facade's selector interface, a structural subset) with the health
+// and capacity hints Pool routes on.
+type Backend interface {
+	// SolveSpec solves one registry run spec ("costas n=18") with the
+	// given solver options; the options' own Backend field is ignored.
+	SolveSpec(ctx context.Context, spec string, opts core.Options) (core.Result, error)
+
+	// SolveBatch solves spec-shaped batch jobs (see core.BatchJob.ShipSpec)
+	// and reports per-job results in input order, exactly like
+	// core.SolveBatch: job failures surface per job, the call-level error
+	// is reserved for unusable inputs or an unreachable backend.
+	SolveBatch(ctx context.Context, jobs []core.BatchJob, opts core.BatchOptions) (core.BatchResult, error)
+
+	// Healthy probes liveness; nil means the backend can take work now.
+	Healthy(ctx context.Context) error
+
+	// Capacity hints how many solves the backend runs in parallel (≥ 1);
+	// Pool uses it for proportional sharding and chunk sizing.
+	Capacity() int
+
+	// Name identifies the backend in errors and logs ("local",
+	// "remote(host:8080)", "pool(3)").
+	Name() string
+}
+
+// compile-time check: every Backend is a core.Backend.
+var _ core.Backend = Backend(nil)

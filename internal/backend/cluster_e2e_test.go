@@ -1,0 +1,153 @@
+package backend
+
+// End-to-end cluster test, run by CI: a 3-node in-process cluster — two
+// solverd workers plus a coordinator solverd whose service routes
+// through a Pool of Remote backends — serves a mixed-spec sharded batch
+// over real HTTP, and the virtual-mode per-job results are bit-identical
+// to the same batch solved on a single node. Also exercises the
+// coordinator's /metrics endpoint, which routing and CI smoke checks
+// read.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// postBatch submits a raw /v1/batch request body and decodes the reply.
+func postBatch(t *testing.T, url string, body string) service.BatchResponse {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/batch", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out service.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %+v", resp.StatusCode, out)
+	}
+	return out
+}
+
+func TestClusterE2EThreeNodes(t *testing.T) {
+	// Two worker nodes.
+	worker1, _ := newWorker(t, service.Config{})
+	worker2, _ := newWorker(t, service.Config{})
+	pool, err := NewPool([]Backend{worker1, worker2}, PoolConfig{ChunkSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The coordinator node: a full solverd service whose execution
+	// backend is the pool — exactly what `solverd -workers a,b` builds.
+	coord := service.New(service.Config{Backend: pool, Workers: 64})
+	coordTS := httptest.NewServer(coord.Handler())
+	t.Cleanup(coordTS.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = coord.Shutdown(ctx)
+	})
+
+	// A single plain node as the ground truth.
+	single := service.New(service.Config{})
+	singleTS := httptest.NewServer(single.Handler())
+	t.Cleanup(singleTS.Close)
+
+	// Mixed-spec batch, fixed master seed, every job deterministic
+	// (sequential or virtual).
+	const batchBody = `{
+		"jobs": [
+			{"model": "costas n=11"},
+			{"model": "costas n=12", "options": {"walkers": 8, "virtual": true}},
+			{"model": "nqueens n=16"},
+			{"model": "costas n=10", "options": {"method": "tabu"}},
+			{"model": "allinterval n=10"},
+			{"model": "magicsquare k=4"},
+			{"model": "costas n=11", "options": {"walkers": 16, "virtual": true}},
+			{"model": "costas n=12", "options": {"seed": 55}}
+		],
+		"master_seed": 1234
+	}`
+
+	want := postBatch(t, singleTS.URL, batchBody)
+	got := postBatch(t, coordTS.URL, batchBody)
+
+	if len(got.Jobs) != len(want.Jobs) {
+		t.Fatalf("job count: got %d want %d", len(got.Jobs), len(want.Jobs))
+	}
+	for i := range want.Jobs {
+		w, g := want.Jobs[i], got.Jobs[i]
+		if w.Error != "" || g.Error != "" {
+			t.Fatalf("job %d errored: single=%q cluster=%q", i, w.Error, g.Error)
+		}
+		if !w.Result.Solved || !g.Result.Solved {
+			t.Fatalf("job %d unsolved: single=%v cluster=%v", i, w.Result.Solved, g.Result.Solved)
+		}
+		if !reflect.DeepEqual(w.Result.Solution, g.Result.Solution) ||
+			w.Result.Iterations != g.Result.Iterations ||
+			w.Result.TotalIterations != g.Result.TotalIterations {
+			t.Fatalf("job %d diverged across the cluster:\nsingle:  %+v\ncluster: %+v", i, *w.Result, *g.Result)
+		}
+	}
+	if got.Stats.Solved != len(want.Jobs) {
+		t.Fatalf("cluster solved %d of %d", got.Stats.Solved, len(want.Jobs))
+	}
+
+	// The coordinator's /metrics must reflect the routed work.
+	resp, err := http.Get(coordTS.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Coordinator     bool             `json:"coordinator"`
+		SolvesTotal     int64            `json:"solves_total"`
+		TotalIterations int64            `json:"total_iterations"`
+		PerModel        map[string]int64 `json:"per_model_solves"`
+		QueueDepth      int64            `json:"queue_depth"`
+		JobsStoreSize   int64            `json:"jobs_store_size"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Coordinator {
+		t.Fatal("coordinator flag not set in /metrics")
+	}
+	if m.SolvesTotal != int64(len(want.Jobs)) || m.TotalIterations <= 0 {
+		t.Fatalf("metrics did not meter the batch: %+v", m)
+	}
+	if m.PerModel["costas"] != 5 || m.PerModel["nqueens"] != 1 {
+		t.Fatalf("per-model counts wrong: %v", m.PerModel)
+	}
+
+	// Distributed first-success multi-walk over the same cluster: a real
+	// multi-walk request to the coordinator shards across the workers and
+	// returns a verified solution within the request deadline.
+	solveBody := `{"model": "costas n=13", "options": {"walkers": 8, "seed": 5}, "timeout_ms": 60000}`
+	sresp, err := http.Post(coordTS.URL+"/v1/solve", "application/json", bytes.NewReader([]byte(solveBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var sr service.SolveResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sresp.StatusCode != http.StatusOK || !sr.Solved || sr.Cancelled {
+		t.Fatalf("distributed solve failed: status=%d %+v", sresp.StatusCode, sr)
+	}
+	if sr.Walkers != 8 {
+		t.Fatalf("distributed solve must account for all 8 walkers, got %d", sr.Walkers)
+	}
+}

@@ -80,6 +80,14 @@ type BatchOptions struct {
 	// but not bit-reproducible — leave this off when job-level determinism
 	// matters more than allocation throughput.
 	ReuseEngines bool
+
+	// Backend routes the whole batch through an execution backend instead
+	// of the in-process worker pool; nil means in-process. A backend.Pool
+	// here shards the jobs across solverd nodes with per-job seeds still
+	// derived by JOB INDEX from MasterSeed, so a virtual-mode batch stays
+	// bit-identical to the in-process run whatever the node count. Jobs
+	// with NewModel closures cannot be shipped and fail per job.
+	Backend Backend
 }
 
 // JobResult is one job's outcome within a batch.
@@ -126,6 +134,19 @@ func SolveBatch(ctx context.Context, jobs []BatchJob, opts BatchOptions) (BatchR
 	if jobs == nil {
 		return BatchResult{}, fmt.Errorf("core: nil batch job slice")
 	}
+	if b := opts.Backend; b != nil {
+		reg := opts.Registry
+		if reg == nil {
+			reg = registry.Default
+		}
+		opts.Backend = nil
+		res, err := b.SolveBatch(ctx, jobs, opts)
+		if err != nil {
+			return res, err
+		}
+		verifyDelegatedBatch(&res, jobs, reg)
+		return res, nil
+	}
 	start := time.Now()
 
 	concurrency := opts.Concurrency
@@ -136,11 +157,7 @@ func SolveBatch(ctx context.Context, jobs []BatchJob, opts BatchOptions) (BatchR
 		concurrency = len(jobs)
 	}
 
-	master := opts.MasterSeed
-	if master == 0 {
-		master = 1
-	}
-	seeds := rng.NewChaoticSeeder(master).Seeds(len(jobs))
+	seeds := DeriveSeeds(opts.MasterSeed, len(jobs))
 
 	res := BatchResult{Jobs: make([]JobResult, len(jobs))}
 	next := make(chan int)
@@ -169,11 +186,60 @@ func SolveBatch(ctx context.Context, jobs []BatchJob, opts BatchOptions) (BatchR
 	close(next)
 	wg.Wait()
 
-	res.Stats = summarizeBatch(res.Jobs, time.Since(start))
+	res.Stats = SummarizeBatch(res.Jobs, time.Since(start))
 	return res, nil
 }
 
-func summarizeBatch(jobs []JobResult, wall time.Duration) BatchStats {
+// verifyDelegatedBatch applies the claimed-solution backstop to a batch
+// executed by a backend: every single-solve delegation path verifies the
+// returned array with the instance's own validator, and a batch must not
+// be weaker — a drifted worker binary returning a wrong array marked
+// solved is flipped to a per-job internal error here. Stats are
+// re-summarized when anything flips.
+func verifyDelegatedBatch(res *BatchResult, jobs []BatchJob, reg *registry.Registry) {
+	changed := false
+	for i := range res.Jobs {
+		jr := &res.Jobs[i]
+		if i >= len(jobs) || jr.Err != nil || !jr.Result.Solved {
+			continue
+		}
+		spec, err := jobs[i].ShipSpec()
+		if err != nil {
+			continue // unshippable jobs already failed per job at the backend
+		}
+		inst, _, err := ParseRunSpecIn(reg, spec, jobs[i].Options)
+		if err != nil {
+			continue // unresolvable specs likewise surfaced per job
+		}
+		if !inst.Valid(jr.Result.Array) {
+			jr.Err = fmt.Errorf("core: backend returned a claimed solution %v that does not solve %s", jr.Result.Array, inst.Spec)
+			changed = true
+		}
+	}
+	if changed {
+		res.Stats = SummarizeBatch(res.Jobs, res.Stats.WallTime)
+	}
+}
+
+// DeriveSeeds is the canonical per-index seed derivation of the batch
+// layer: a zero master normalizes to 1, then the chaotic seeder
+// (§III-B3) emits one seed per index. SolveBatch and every execution
+// backend (internal/backend's Pool and Remote pin seeds by job index
+// before placement; Pool also derives shard master seeds with it) MUST
+// derive through this one function — the single-node vs multi-node
+// bit-parity guarantee is exactly these sequences being identical
+// everywhere.
+func DeriveSeeds(master uint64, n int) []uint64 {
+	if master == 0 {
+		master = 1
+	}
+	return rng.NewChaoticSeeder(master).Seeds(n)
+}
+
+// SummarizeBatch aggregates per-job results into BatchStats — exported so
+// execution backends (internal/backend) that assemble a BatchResult from
+// sharded or remote job results summarize it exactly like SolveBatch.
+func SummarizeBatch(jobs []JobResult, wall time.Duration) BatchStats {
 	st := BatchStats{Jobs: len(jobs), WallTime: wall}
 	for _, jr := range jobs {
 		switch {
@@ -191,6 +257,27 @@ func summarizeBatch(jobs []JobResult, wall time.Duration) BatchStats {
 		st.SolvesPerSec = float64(st.Solved) / secs
 	}
 	return st
+}
+
+// ShipSpec canonicalizes a batch job into the registry run spec an
+// execution backend routes on: an explicit Spec passes through, a plain
+// CAP job (Options.N) becomes "costas n=N". Jobs that cannot leave the
+// process — NewModel closures, non-default costas model options (which a
+// spec cannot carry) — return an error; backends surface it per job.
+func (j BatchJob) ShipSpec() (string, error) {
+	switch {
+	case j.NewModel != nil:
+		return "", fmt.Errorf("core: batch job with a NewModel closure cannot route through a backend")
+	case j.Spec != "":
+		return j.Spec, nil
+	case j.Options.N >= 1:
+		if j.Options.Model != (costas.Options{}) {
+			return "", fmt.Errorf("core: non-default costas model options cannot route through a backend")
+		}
+		return fmt.Sprintf("costas n=%d", j.Options.N), nil
+	default:
+		return "", fmt.Errorf("core: batch job selects no instance (no Spec, no N)")
+	}
 }
 
 // reuseKey identifies the engine shapes the hot path may pool: CAP

@@ -48,6 +48,28 @@ import (
 	"repro/internal/walk"
 )
 
+// Backend abstracts WHERE a solve executes: in this process, on a remote
+// solverd node, or sharded across a whole fleet. internal/backend provides
+// the implementations (Local, Remote, Pool); Options.Backend and
+// BatchOptions.Backend select one. The interface lives here — not in
+// internal/backend — so the facade can delegate without an import cycle:
+// backend implementations import core for its types, core only holds the
+// two-method contract.
+//
+// A Backend works on registry run specs (the one instance description
+// that serializes across a wire) and on spec-shaped batch jobs; model
+// closures (SolveModel, BatchJob.NewModel) are process-local by nature
+// and cannot be routed through a Backend.
+type Backend interface {
+	// SolveSpec solves one registry run-spec instance (e.g. "costas n=18")
+	// with the given solver options (whose Backend field is ignored).
+	SolveSpec(ctx context.Context, spec string, opts Options) (Result, error)
+	// SolveBatch solves a batch of spec-shaped jobs (BatchJob.Spec set, or
+	// Options.N-only CAP jobs, which every backend canonicalizes to
+	// "costas n=N").
+	SolveBatch(ctx context.Context, jobs []BatchJob, opts BatchOptions) (BatchResult, error)
+}
+
 // Method names accepted by Options.Method (plus their aliases).
 const (
 	MethodAdaptive  = "adaptive"
@@ -118,6 +140,16 @@ type Options struct {
 	// the budget counts cost evaluations — its natural work unit — not
 	// rounds.
 	MaxIterations int64
+
+	// Backend selects where the solve executes; nil means in this process
+	// (the historical behaviour). With a Backend set, Solve and
+	// SolveInstance delegate the canonical run spec to it — a
+	// backend.Remote submits to a solverd node, a backend.Pool shards
+	// multi-walk across a fleet. Process-local knobs that do not
+	// serialize (Params, a non-zero Model) are rejected by remote
+	// backends rather than silently dropped; SolveModel rejects any
+	// Backend because model closures cannot be shipped.
+	Backend Backend
 }
 
 // Result reports a solve outcome.
@@ -272,6 +304,9 @@ func SolveModel(ctx context.Context, newModel func() csp.Model, opts Options) (R
 	if newModel == nil {
 		return Result{}, fmt.Errorf("core: nil model factory")
 	}
+	if opts.Backend != nil {
+		return Result{}, fmt.Errorf("core: SolveModel cannot route through a backend (model closures are process-local; use a registry spec)")
+	}
 	return solveWith(ctx, newModel, opts, adaptive.DefaultParams())
 }
 
@@ -308,6 +343,25 @@ func solveWith(ctx context.Context, newModel func() csp.Model, opts Options, ada
 func Solve(ctx context.Context, opts Options) (Result, error) {
 	if opts.N < 1 {
 		return Result{}, fmt.Errorf("core: invalid order N=%d", opts.N)
+	}
+	if b := opts.Backend; b != nil {
+		// Delegate the canonical CAP run spec. Non-default model options do
+		// not serialize into a spec (the registry route always builds the
+		// tuned model), so shipping them would silently solve a different
+		// instance — reject instead.
+		if opts.Model != (costas.Options{}) {
+			return Result{}, fmt.Errorf("core: non-default costas model options cannot route through a backend")
+		}
+		spec := fmt.Sprintf("costas n=%d", opts.N)
+		opts.Backend, opts.N = nil, 0
+		res, err := b.SolveSpec(ctx, spec, opts)
+		if err != nil {
+			return res, err
+		}
+		if res.Solved && !costas.IsCostas(res.Array) {
+			return res, fmt.Errorf("core: backend returned a claimed solution %v that is not a Costas array", res.Array)
+		}
+		return res, nil
 	}
 	newModel := func() csp.Model { return costas.New(opts.N, opts.Model) }
 	res, err := solveWith(ctx, newModel, opts, costas.TunedParams(opts.N))

@@ -62,9 +62,28 @@ func ParseRunSpec(spec string, base Options) (registry.Instance, Options, error)
 // (a service configured with its own catalogue must not fall back to the
 // process-wide Default).
 func ParseRunSpecIn(reg *registry.Registry, spec string, base Options) (registry.Instance, Options, error) {
-	mspec, extra, err := registry.ParseSpec(spec)
+	mspec, opts, err := SplitRunSpec(spec, base)
 	if err != nil {
 		return registry.Instance{}, Options{}, err
+	}
+	inst, err := reg.Build(mspec)
+	if err != nil {
+		return registry.Instance{}, Options{}, err
+	}
+	return inst, opts, nil
+}
+
+// SplitRunSpec performs the solver-option half of run-spec parsing
+// without consulting any registry: option keys are applied on top of
+// base, everything else stays in the returned model spec for whichever
+// registry eventually resolves it. Remote execution backends
+// (internal/backend) use this to fold a composite spec into wire options
+// client-side while the model itself resolves on the server — whose
+// catalogue may contain models this process has never registered.
+func SplitRunSpec(spec string, base Options) (registry.Spec, Options, error) {
+	mspec, extra, err := registry.ParseSpec(spec)
+	if err != nil {
+		return registry.Spec{}, Options{}, err
 	}
 
 	opts := base
@@ -91,7 +110,7 @@ func ParseRunSpecIn(reg *registry.Registry, spec string, base Options) (registry
 
 	if v, ok := takeInt("seed"); ok {
 		if v < 0 {
-			return registry.Instance{}, Options{}, fmt.Errorf("core: negative seed %d in spec %q", v, spec)
+			return registry.Spec{}, Options{}, fmt.Errorf("core: negative seed %d in spec %q", v, spec)
 		}
 		opts.Seed = uint64(v)
 	} else if sv, ok := takeString("seed"); ok {
@@ -100,24 +119,24 @@ func ParseRunSpecIn(reg *registry.Registry, spec string, base Options) (registry
 		// strings rather than ints.
 		u, err := strconv.ParseUint(sv, 10, 64)
 		if err != nil {
-			return registry.Instance{}, Options{}, badValue("seed", sv, "an unsigned integer")
+			return registry.Spec{}, Options{}, badValue("seed", sv, "an unsigned integer")
 		}
 		opts.Seed = u
 	}
 	if v, ok := takeInt("walkers"); ok {
 		opts.Walkers = v
 	} else if sv, ok := takeString("walkers"); ok {
-		return registry.Instance{}, Options{}, badValue("walkers", sv, "an integer")
+		return registry.Spec{}, Options{}, badValue("walkers", sv, "an integer")
 	}
 	if v, ok := takeInt("maxiter"); ok {
 		opts.MaxIterations = int64(v)
 	} else if sv, ok := takeString("maxiter"); ok {
-		return registry.Instance{}, Options{}, badValue("maxiter", sv, "an integer")
+		return registry.Spec{}, Options{}, badValue("maxiter", sv, "an integer")
 	}
 	if v, ok := takeInt("checkevery"); ok {
 		opts.CheckEvery = v
 	} else if sv, ok := takeString("checkevery"); ok {
-		return registry.Instance{}, Options{}, badValue("checkevery", sv, "an integer")
+		return registry.Spec{}, Options{}, badValue("checkevery", sv, "an integer")
 	}
 	if v, ok := takeInt("virtual"); ok {
 		opts.Virtual = v != 0
@@ -128,18 +147,18 @@ func ParseRunSpecIn(reg *registry.Registry, spec string, base Options) (registry
 		case "false":
 			opts.Virtual = false
 		default:
-			return registry.Instance{}, Options{}, badValue("virtual", v, "true/false or 1/0")
+			return registry.Spec{}, Options{}, badValue("virtual", v, "true/false or 1/0")
 		}
 	}
 	if v, ok := takeString("method"); ok {
 		opts.Method = v
 	} else if v, ok := takeInt("method"); ok {
-		return registry.Instance{}, Options{}, badValue("method", strconv.Itoa(v), "a method name")
+		return registry.Spec{}, Options{}, badValue("method", strconv.Itoa(v), "a method name")
 	}
 	if v, ok := takeString("portfolio"); ok {
 		opts.Portfolio = strings.Split(v, ",")
 	} else if v, ok := takeInt("portfolio"); ok {
-		return registry.Instance{}, Options{}, badValue("portfolio", strconv.Itoa(v), "a comma-separated method list")
+		return registry.Spec{}, Options{}, badValue("portfolio", strconv.Itoa(v), "a comma-separated method list")
 	}
 
 	// Anything left in extra is a key the registry cannot take either
@@ -151,16 +170,12 @@ func ParseRunSpecIn(reg *registry.Registry, spec string, base Options) (registry
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		return registry.Instance{}, Options{}, fmt.Errorf(
+		return registry.Spec{}, Options{}, fmt.Errorf(
 			"core: unknown option keys %s in spec %q (solver options: %s; model parameters are integers)",
 			strings.Join(keys, ", "), spec, strings.Join(OptionKeys(), ", "))
 	}
 
-	inst, err := reg.Build(mspec)
-	if err != nil {
-		return registry.Instance{}, Options{}, err
-	}
-	return inst, opts, nil
+	return mspec, opts, nil
 }
 
 // SolveInstance runs the solver described by opts on a resolved registry
@@ -173,6 +188,22 @@ func ParseRunSpecIn(reg *registry.Registry, spec string, base Options) (registry
 func SolveInstance(ctx context.Context, inst registry.Instance, opts Options) (Result, error) {
 	if inst.NewModel == nil {
 		return Result{}, fmt.Errorf("core: unresolved registry instance")
+	}
+	if b := opts.Backend; b != nil {
+		// Delegate the canonical spec (every declared parameter resolved,
+		// alphabetical order) so the backend re-resolves the identical
+		// instance; the claimed solution is still verified here with the
+		// entry's own validator — the backstop must not depend on where
+		// the solve ran.
+		opts.Backend = nil
+		res, err := b.SolveSpec(ctx, inst.Spec.String(), opts)
+		if err != nil {
+			return res, err
+		}
+		if res.Solved && !inst.Valid(res.Array) {
+			return res, fmt.Errorf("core: backend returned a claimed solution %v that does not solve %s", res.Array, inst.Spec)
+		}
+		return res, nil
 	}
 	defaults := adaptive.DefaultParams()
 	if tuned, ok := inst.TunedParams(); ok {

@@ -108,6 +108,14 @@ func (s Spec) String() string {
 	return b.String()
 }
 
+// MarshalJSON emits the canonical grammar string, the symmetric partner
+// of UnmarshalJSON's string form: a Spec round-trips through JSON as
+// "costas n=18", which is also what the HTTP clients (internal/backend's
+// Remote) put on the wire — one canonical request shape instead of two.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
 // UnmarshalJSON accepts both forms of a model spec: a grammar string
 // ("costas n=18") and the structured object ({"name":"costas",
 // "params":{"n":18}}). The object form is decoded strictly — an unknown

@@ -35,6 +35,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -60,6 +61,13 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// Registry resolves model specs; nil means registry.Default.
 	Registry *registry.Registry
+	// Backend routes solves and batches through an execution backend
+	// instead of the in-process run layer — the coordinator mode: a
+	// solverd configured with a backend.Pool of Remote members fronts a
+	// whole fleet behind the same wire format. nil solves in-process.
+	// Requests are still validated, admitted and metered here; only the
+	// execution moves.
+	Backend core.Backend
 }
 
 func (c Config) withDefaults() Config {
@@ -222,11 +230,16 @@ type Server struct {
 
 	acqMu sync.Mutex // serializes multi-slot (batch) acquisition
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	nextID   int
-	inflight int // requests currently solving (sync + async)
-	started  time.Time
+	queued atomic.Int64 // requests waiting for a worker slot (queue depth)
+
+	mu         sync.Mutex
+	jobs       map[string]*job
+	nextID     int
+	inflight   int // requests currently solving (sync + async)
+	started    time.Time
+	perModel   map[string]int64 // completed solves per model name
+	solves     int64            // completed solve operations (batch jobs count singly)
+	iterations int64            // Σ TotalIterations over completed solves
 }
 
 // New returns a ready server (no listener — pair Handler with
@@ -235,19 +248,21 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		slots:   make(chan struct{}, cfg.Workers),
-		baseCtx: ctx,
-		cancel:  cancel,
-		jobs:    map[string]*job{},
-		started: time.Now(),
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		slots:    make(chan struct{}, cfg.Workers),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		jobs:     map[string]*job{},
+		started:  time.Now(),
+		perModel: map[string]int64{},
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
@@ -353,8 +368,16 @@ func (s *Server) runCtx(parent context.Context, timeoutMS int64) (context.Contex
 	return ctx, func() { stop(); cancel() }
 }
 
-// acquire takes a worker slot, or fails when ctx ends first.
+// acquire takes a worker slot, or fails when ctx ends first. Time spent
+// blocked on a full semaphore is surfaced as /metrics queue depth.
 func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	s.queued.Add(1)
+	defer s.queued.Add(-1)
 	select {
 	case s.slots <- struct{}{}:
 		return nil
@@ -397,6 +420,27 @@ func (s *Server) trackInflight(delta int) {
 	s.mu.Unlock()
 }
 
+// solveInstance executes one resolved solve, in-process or through the
+// configured coordinator backend (core.SolveInstance delegates when
+// opts.Backend is set, and verifies the claimed solution either way).
+func (s *Server) solveInstance(ctx context.Context, inst registry.Instance, opts core.Options) (core.Result, error) {
+	opts.Backend = s.cfg.Backend
+	res, err := core.SolveInstance(ctx, inst, opts)
+	if err == nil {
+		s.recordSolve(inst.Spec.Name, res.TotalIterations)
+	}
+	return res, err
+}
+
+// recordSolve feeds the /metrics counters after a completed solve.
+func (s *Server) recordSolve(model string, iterations int64) {
+	s.mu.Lock()
+	s.perModel[model]++
+	s.solves++
+	s.iterations += iterations
+	s.mu.Unlock()
+}
+
 // --- handlers ---
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -421,7 +465,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer s.wg.Done()
 			s.runAsync(id, 1, func(ctx context.Context) (JobStatus, error) {
-				res, err := core.SolveInstance(ctx, inst, opts)
+				res, err := s.solveInstance(ctx, inst, opts)
 				if err != nil {
 					return JobStatus{}, err
 				}
@@ -443,7 +487,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.trackInflight(1)
 	defer s.trackInflight(-1)
 
-	res, err := core.SolveInstance(ctx, inst, opts)
+	res, err := s.solveInstance(ctx, inst, opts)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -471,6 +515,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// failures inside good jobs still report per job, as in core).
 	jobs := make([]core.BatchJob, len(req.Jobs))
 	models := make([]string, len(req.Jobs))
+	names := make([]string, len(req.Jobs))
 	for i, jr := range req.Jobs {
 		inst, opts, err := s.resolve(jr.Model, jr.Options)
 		if err != nil {
@@ -481,6 +526,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// costas jobs keep their engine-pool eligibility this way.
 		jobs[i] = core.BatchJob{Spec: inst.Spec.String(), Options: opts}
 		models[i] = inst.Spec.String()
+		names[i] = inst.Spec.Name
 	}
 
 	conc := req.Concurrency
@@ -495,12 +541,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		MasterSeed:   req.MasterSeed,
 		Registry:     s.cfg.Registry, // specs must resolve against the catalogue that validated them
 		ReuseEngines: req.ReuseEngines,
+		Backend:      s.cfg.Backend, // coordinator mode: the whole batch shards across the fleet
 	}
 
 	run := func(ctx context.Context) (BatchResponse, error) {
 		res, err := core.SolveBatch(ctx, jobs, batchOpts)
 		if err != nil {
 			return BatchResponse{}, err
+		}
+		for i, jr := range res.Jobs {
+			if jr.Err == nil {
+				s.recordSolve(names[i], jr.Result.TotalIterations)
+			}
 		}
 		return batchResponse(models, res), nil
 	}
@@ -696,6 +748,35 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.OptionKeys = core.OptionKeys()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves GET /metrics: a flat expvar-style JSON object of
+// live load and lifetime counters — what a coordinator's routing, a CI
+// smoke check, or a scrape job reads. (A process-global expvar map would
+// collide across the many Server instances tests create, so the counters
+// are per-server and only the format is expvar's.)
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	perModel := make(map[string]int64, len(s.perModel))
+	for name, n := range s.perModel {
+		perModel[name] = n
+	}
+	inflight := s.inflight
+	stored := len(s.jobs)
+	solves := s.solves
+	iterations := s.iterations
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"inflight_solves":  inflight,
+		"queue_depth":      s.queued.Load(),
+		"jobs_store_size":  stored,
+		"per_model_solves": perModel,
+		"solves_total":     solves,
+		"total_iterations": iterations,
+		"workers":          s.cfg.Workers,
+		"coordinator":      s.cfg.Backend != nil,
+		"uptime_sec":       time.Since(s.started).Seconds(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

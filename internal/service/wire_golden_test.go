@@ -1,0 +1,211 @@
+package service
+
+// Wire-format freeze: golden request/response JSON fixtures for every
+// /v1 endpoint. The Remote execution backend (internal/backend) and any
+// external client depend on this format staying stable, so a change that
+// alters the wire shape must consciously regenerate the fixtures:
+//
+//	go test ./internal/service -run TestWireFormatGolden -update
+//
+// The REQUEST fixtures are posted verbatim (they are the frozen client
+// shape, byte for byte); the responses are normalized (wall-clock fields
+// zeroed — everything else is deterministic for the fixed seeds) and
+// compared byte for byte against the golden files.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden wire-format fixtures")
+
+// volatileFields are wall-clock-derived response fields with no stable
+// value; they are zeroed (recursively) before comparison.
+var volatileFields = map[string]bool{
+	"wall_ms":        true,
+	"solves_per_sec": true,
+	"uptime_sec":     true,
+}
+
+func normalize(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, vv := range x {
+			if volatileFields[k] {
+				x[k] = 0
+			} else {
+				x[k] = normalize(vv)
+			}
+		}
+		return x
+	case []any:
+		for i := range x {
+			x[i] = normalize(x[i])
+		}
+		return x
+	default:
+		return v
+	}
+}
+
+// checkGolden normalizes raw JSON and compares it with (or rewrites)
+// testdata/<name>.
+func checkGolden(t *testing.T, name string, raw []byte) {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("%s: invalid JSON %q: %v", name, raw, err)
+	}
+	got, err := json.MarshalIndent(normalize(v), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v (run with -update to generate)", name, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s: wire format drifted.\n--- got ---\n%s\n--- want ---\n%s\n(regenerate deliberately with -update)", name, got, want)
+	}
+}
+
+// requestFixture loads (or, with -update, writes) a frozen request body.
+func requestFixture(t *testing.T, name string, body string) []byte {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		var v any
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			t.Fatal(err)
+		}
+		pretty, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(pretty, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v (run with -update to generate)", name, err)
+	}
+	return raw
+}
+
+func postRaw(t *testing.T, url string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func getRaw(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func TestWireFormatGolden(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	t.Run("solve", func(t *testing.T) {
+		req := requestFixture(t, "solve_request.json",
+			`{"model": "costas n=12", "options": {"walkers": 8, "virtual": true, "seed": 7}}`)
+		code, body := postRaw(t, ts.URL+"/v1/solve", req)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+		checkGolden(t, "solve_response.json", body)
+	})
+
+	t.Run("batch", func(t *testing.T) {
+		req := requestFixture(t, "batch_request.json",
+			`{"jobs": [
+				{"model": "costas n=11"},
+				{"model": {"name": "nqueens", "params": {"n": 16}}, "options": {"seed": 3}},
+				{"model": "costas n=10", "options": {"method": "tabu", "seed": 9}}
+			], "master_seed": 42}`)
+		code, body := postRaw(t, ts.URL+"/v1/batch", req)
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+		checkGolden(t, "batch_response.json", body)
+	})
+
+	t.Run("jobs", func(t *testing.T) {
+		req := requestFixture(t, "jobs_solve_request.json",
+			`{"model": "costas n=11", "options": {"seed": 5}, "async": true}`)
+		code, body := postRaw(t, ts.URL+"/v1/solve", req)
+		if code != http.StatusAccepted {
+			t.Fatalf("status %d: %s", code, body)
+		}
+		// The job id is deterministic on a fresh server ("j1" — this
+		// subtest owns its server instance below if that ever changes),
+		// so the 202 accept body is frozen too.
+		checkGolden(t, "jobs_accept_response.json", body)
+		var accept struct {
+			ID  string `json:"id"`
+			URL string `json:"url"`
+		}
+		if err := json.Unmarshal(body, &accept); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			code, body = getRaw(t, ts.URL+accept.URL)
+			if code != http.StatusOK {
+				t.Fatalf("poll status %d: %s", code, body)
+			}
+			var st JobStatus
+			if err := json.Unmarshal(body, &st); err != nil {
+				t.Fatal(err)
+			}
+			if st.State == "done" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("async job never finished: %s", body)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		checkGolden(t, "jobs_status_response.json", body)
+	})
+
+	t.Run("models", func(t *testing.T) {
+		code, body := getRaw(t, ts.URL+"/v1/models")
+		if code != http.StatusOK {
+			t.Fatalf("status %d: %s", code, body)
+		}
+		checkGolden(t, "models_response.json", body)
+	})
+}
