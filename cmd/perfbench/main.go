@@ -10,11 +10,17 @@
 //	perfbench -benchtime 5s -out /tmp/bench.json
 //	perfbench -baseline BENCH_costas.json
 //
-// In -smoke mode each benchmark runs a fixed small iteration count (fast
-// enough for CI) and the run FAILS (exit 1) if any steady-state benchmark
-// — the kernel microbenches and the post-Bind engine loop — reports a
-// non-zero allocs/op: the zero-allocation hot path is a regression gate,
-// not an aspiration.
+// In -smoke mode each benchmark runs a short time-based count (0.3s —
+// fast enough for CI, long enough that ns/op is steady-state and
+// comparable to the committed 2s numbers) and the run FAILS (exit 1) if
+// any steady-state benchmark — the kernel microbenches and the post-Bind
+// engine loop — reports a non-zero allocs/op: the zero-allocation hot
+// path is a regression gate, not an aspiration. Smoke mode also gates
+// *speed*: a steady-state benchmark that runs more than -maxregress
+// (default 10 %) slower than its committed baseline ns/op fails the run,
+// so a hot-path slowdown cannot land silently even when it allocates
+// nothing. To keep the committed trajectory clean, smoke mode does NOT
+// overwrite BENCH_costas.json unless -out is given explicitly.
 //
 // When a baseline file is present (by default the committed
 // BENCH_costas.json), each benchmark also reports the recorded baseline
@@ -132,6 +138,46 @@ func runAll(benchtime string) ([]Result, error) {
 				i := k % 18
 				j := (i + 1 + k%17) % 18
 				s += m.CostIfSwap(i, j)
+			}
+			sink = s
+		}))
+	}
+
+	// kernel/scan_swaps_n18 — the batched neighborhood probe: one op is a
+	// whole ScanSwaps pass computing all n−1 candidate deltas for one
+	// variable, so the amortized per-candidate cost is ns_op/(n−1);
+	// compare against kernel/swap_delta_n18's per-probe cost to see the
+	// batch win (the acceptance bar is ≤ 0.5× per candidate).
+	{
+		m := costas.New(18, costas.Options{})
+		m.Bind(csp.RandomConfiguration(18, rng.New(1)))
+		deltas := make([]int, 18)
+		add("kernel/scan_swaps_n18", true, 0, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			s := 0
+			for k := 0; k < b.N; k++ {
+				m.ScanSwaps(k%18, deltas)
+				s += deltas[(k+1)%18]
+			}
+			sink = s
+		}))
+	}
+
+	// kernel/scan_swaps_n96_b* — the ScanBlock sweep on a wide instance
+	// (n = 96 takes the gather path: rows wider than one machine word, so
+	// chunking the candidate set is what keeps the delta slab hot). The
+	// sweep documents the block-size tradeoff DefaultScanBlock was picked
+	// from; every block size computes bit-identical deltas.
+	for _, blk := range []int{16, 48, 96} {
+		m := costas.New(96, costas.Options{ScanBlock: blk})
+		m.Bind(csp.RandomConfiguration(96, rng.New(1)))
+		deltas := make([]int, 96)
+		add(fmt.Sprintf("kernel/scan_swaps_n96_b%d", blk), true, 0, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			s := 0
+			for k := 0; k < b.N; k++ {
+				m.ScanSwaps(k%96, deltas)
+				s += deltas[(k+1)%96]
 			}
 			sink = s
 		}))
@@ -285,18 +331,28 @@ func mergeBaseline(results []Result, baseline *File) {
 
 func main() {
 	var (
-		smoke     = flag.Bool("smoke", false, "CI mode: fixed small iteration counts + fail on steady-state allocs/op > 0")
-		benchtime = flag.String("benchtime", "", `testing benchtime (default "2s", or "100x" with -smoke)`)
-		out       = flag.String("out", "BENCH_costas.json", "output file (\"-\" for stdout)")
-		baseline  = flag.String("baseline", "BENCH_costas.json", "recorded baseline to compare against (skipped if missing)")
+		smoke      = flag.Bool("smoke", false, "CI mode: short runs + fail on steady-state allocs/op > 0 or a >maxregress slowdown vs baseline; writes no file unless -out is given")
+		maxregress = flag.Float64("maxregress", 0.10, "with -smoke: allowed fractional steady-state slowdown vs the baseline file (0.10 = 10%)")
+		benchtime  = flag.String("benchtime", "", `testing benchtime (default "2s", or "0.3s" with -smoke)`)
+		out        = flag.String("out", "BENCH_costas.json", "output file (\"-\" for stdout)")
+		baseline   = flag.String("baseline", "BENCH_costas.json", "recorded baseline to compare against (skipped if missing)")
 	)
 	flag.Parse()
 	testing.Init()
+	outSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
 
 	bt := *benchtime
 	if bt == "" {
 		if *smoke {
-			bt = "100x"
+			// Time-based, not a fixed iteration count: ns/op from a
+			// 0.3s run is steady-state and comparable to the 2s
+			// baseline, which the -maxregress speed gate requires.
+			bt = "0.3s"
 		} else {
 			bt = "2s"
 		}
@@ -339,9 +395,13 @@ func main() {
 		os.Exit(2)
 	}
 	enc = append(enc, '\n')
-	if *out == "-" {
+	switch {
+	case *smoke && !outSet:
+		// A smoke run is a gate, not a recording: never clobber the
+		// committed trajectory with short-run numbers by default.
+	case *out == "-":
 		os.Stdout.Write(enc)
-	} else {
+	default:
 		if err := os.WriteFile(*out, enc, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "perfbench:", err)
 			os.Exit(2)
@@ -361,6 +421,11 @@ func main() {
 		if *smoke && r.SteadyState && r.AllocsOp > 0 {
 			fmt.Fprintf(os.Stderr, "perfbench: FAIL: %s allocates %d allocs/op; the steady-state hot path must be allocation-free\n",
 				r.Name, r.AllocsOp)
+			failed = true
+		}
+		if *smoke && r.SteadyState && r.Speedup > 0 && r.Speedup < 1-*maxregress {
+			fmt.Fprintf(os.Stderr, "perfbench: FAIL: %s regressed to %.0f ns/op (%.2fx of the %.0f ns/op baseline, tolerance %.0f%%)\n",
+				r.Name, r.NsOp, r.Speedup, r.BaselineNsOp, 100**maxregress)
 			failed = true
 		}
 	}

@@ -37,7 +37,11 @@ func TestRunAllSmoke(t *testing.T) {
 			}
 		}
 	}
-	for _, name := range []string{"kernel/swap_delta_n18", "table1/sequential_n13"} {
+	for _, name := range []string{
+		"kernel/swap_delta_n18", "kernel/scan_swaps_n18",
+		"kernel/scan_swaps_n96_b16", "kernel/scan_swaps_n96_b48", "kernel/scan_swaps_n96_b96",
+		"table1/sequential_n13",
+	} {
 		if !seen[name] {
 			t.Errorf("benchmark %q missing from suite", name)
 		}

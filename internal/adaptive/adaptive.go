@@ -105,6 +105,7 @@ type Stats = csp.Stats
 type Engine struct {
 	model  csp.Model
 	dm     csp.DeltaModel // non-nil iff model implements the hot-path contract
+	sm     csp.ScanModel  // non-nil iff model also implements the batch probe
 	params Params
 	r      *rng.RNG
 
@@ -117,8 +118,10 @@ type Engine struct {
 	solved    bool
 	exhausted bool
 
-	// Scratch for min-conflict tie collection.
+	// Scratch for min-conflict tie collection and the batched neighborhood
+	// scan; both ride on one allocation (see NewEngine).
 	bestJs []int
+	deltas []int
 
 	// Trace, when non-nil, receives one event per iteration — used by the
 	// debugging tools and the verbose CLI mode. The hot path pays only a
@@ -154,11 +157,17 @@ func NewEngine(model csp.Model, params Params, seed uint64) *Engine {
 		params:    params,
 		r:         rng.New(seed),
 		tabuUntil: make([]int64, n),
-		bestJs:    make([]int, 0, n),
 	}
-	// Probe through the read-only delta kernel when the model has one;
-	// resolved once here so the min-conflict scan pays no type assertion.
+	// One arena backs both scratch slices; the three-index slice keeps
+	// bestJs' append capacity at exactly n.
+	scratch := make([]int, 2*n)
+	e.bestJs = scratch[:0:n]
+	e.deltas = scratch[n:]
+	// Probe through the read-only delta kernel when the model has one, and
+	// through the batched neighborhood scan when it has that too; resolved
+	// once here so the min-conflict scan pays no type assertion.
 	e.dm, _ = model.(csp.DeltaModel)
+	e.sm, _ = model.(csp.ScanModel)
 	e.cfg = csp.RandomConfiguration(n, e.r)
 	model.Bind(e.cfg)
 	e.solved = model.Cost() == 0
@@ -308,12 +317,21 @@ func (e *Engine) selectCulprit() (culprit int, ok bool) {
 func (e *Engine) minConflict(culprit int) (bestCost, bestJ int) {
 	m := e.model
 	dm := e.dm
+	sm := e.sm
 	n := len(e.cfg)
 	bestCost = int(^uint(0) >> 1)
 	bestJ = -1
 	e.bestJs = e.bestJs[:0]
 
 	cur := m.Cost()
+	if sm != nil {
+		// One batched pass replaces the n−1 per-candidate probes. The
+		// candidate loop below only reads the precomputed deltas, in the
+		// exact order the per-probe scan would have evaluated them, so the
+		// trajectory (including FirstBest's early exit and the RNG call
+		// sequence) is bit-identical to the SwapDelta path.
+		sm.ScanSwaps(culprit, e.deltas)
+	}
 	start := 0
 	if e.params.FirstBest && n > 1 {
 		start = e.r.Intn(n)
@@ -327,9 +345,12 @@ func (e *Engine) minConflict(culprit int) (bestCost, bestJ int) {
 			continue
 		}
 		var c int
-		if dm != nil {
+		switch {
+		case sm != nil:
+			c = cur + e.deltas[j]
+		case dm != nil:
 			c = cur + dm.SwapDelta(culprit, j)
-		} else {
+		default:
 			c = m.CostIfSwap(culprit, j)
 		}
 		if e.params.FirstBest && c < cur {

@@ -13,6 +13,10 @@ package costas
 //     identity) and a probe leaves every difference-triangle counter
 //     bit-for-bit untouched (the kernel is genuinely read-only — no
 //     mutate-and-rollback);
+//   - ScanSwaps(i) returns, for every candidate j, exactly SwapDelta(i, j)
+//     (the csp.ScanModel identity the engines' bit-identical adoption rests
+//     on), reports 0 for the no-op j == i, and leaves the counters as
+//     untouched as the scalar probe does;
 //   - ExecSwap keeps the incremental counters equal to a full rebuild.
 //
 // The fuzz input is one seed (the random permutation) plus a script whose
@@ -84,6 +88,7 @@ func FuzzCostasCost(f *testing.F) {
 
 		check("bind")
 		cntSnapshot := make([]int32, len(m.cnt))
+		deltas := make([]int, n)
 		for k := 0; k+1 < len(swaps); k += 2 {
 			i, j := int(swaps[k])%n, int(swaps[k+1])%n
 			hyp := append([]int(nil), cfg...)
@@ -95,6 +100,18 @@ func FuzzCostasCost(f *testing.F) {
 			}
 			if got, wantDelta := m.SwapDelta(i, j), want-m.Cost(); got != wantDelta {
 				t.Fatalf("SwapDelta(%d,%d) = %d, CostIfSwap−Cost = %d (cfg %v)", i, j, got, wantDelta, cfg)
+			}
+			// Batch probe: one ScanSwaps pass must agree with the scalar
+			// kernel on every candidate of row i, including the zero for
+			// the no-op j == i, and be just as counter-neutral.
+			m.ScanSwaps(i, deltas)
+			for c := 0; c < n; c++ {
+				if wd := m.SwapDelta(i, c); deltas[c] != wd {
+					t.Fatalf("ScanSwaps(%d)[%d] = %d, SwapDelta = %d (cfg %v)", i, c, deltas[c], wd, cfg)
+				}
+			}
+			if deltas[i] != 0 {
+				t.Fatalf("ScanSwaps(%d)[%d] = %d for the identity swap, want 0 (cfg %v)", i, i, deltas[i], cfg)
 			}
 			for s := range cntSnapshot {
 				if m.cnt[s] != cntSnapshot[s] {

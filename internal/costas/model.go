@@ -13,6 +13,7 @@ package costas
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"repro/internal/csp"
@@ -49,6 +50,14 @@ type Options struct {
 	// §IV-B2, falling back to the engine's generic percentage reset
 	// (≈3.7× slower, used by the ablation bench).
 	GenericReset bool
+	// ScanBlock chunks the candidate range of the batched neighborhood
+	// scan (ScanSwaps) so its per-candidate scratch slabs stay in L1 while
+	// the difference triangle is re-walked once per chunk — the memory-vs-
+	// speed block-size knob of the scan kernel (see DESIGN.md §6). 0
+	// selects DefaultScanBlock (picked by the perfbench block sweep);
+	// values are clamped to [1, n]. The knob only trades speed for memory
+	// locality: every block size computes bit-identical deltas.
+	ScanBlock int
 }
 
 // Model is the CAP as a csp.Model with O(n) incremental move evaluation.
@@ -85,12 +94,39 @@ type Model struct {
 
 	// Scratch space (no allocation on the hot path; capacities are fixed
 	// at construction and never grow — see TestScratchCapacityBounded).
+	// All []int scratch shares one backing arena, and the int32 slabs
+	// share cnt's, so a whole Model costs 4 heap allocations — the
+	// per-solve setup cost the table1 bench records (see
+	// TestPerSolveSetupAllocBudget).
 	cand      []int // candidate configuration built by Reset
 	best      []int // best candidate seen by Reset
 	errVars   []int // indices of erroneous variables (Reset perturbation 3)
 	resetKs   []int // circular-addition constants of §IV-B2, precomputed
 	seenReset []int // per-row seen marks for scanCost; value = generation tag
 	seenGen   int
+
+	// Batched neighborhood-scan state (ScanSwaps): candidate chunk size
+	// plus the per-chunk delta accumulator slab — int32, so one block's
+	// working set is 4·ScanBlock bytes on top of the triangle rows.
+	scanBlock int
+	scanAcc   []int32 // per-candidate accumulated delta (one block)
+
+	// Bit-plane cache of the counter matrix for the SWAR scan sweep,
+	// allocated only when the row width fits one machine word (n ≤ 32 —
+	// the paper's whole instance range). Row d owns three words:
+	// planes[3(d−1)+k] has bit v set iff count_d(v) ≥ k+1, k = 0, 1, 2.
+	// Maintenance is row-granular and lazy: Bind just bumps planeEpoch
+	// (invalidating every row at O(1) cost), the scan rebuilds a stale
+	// row from its counters the first time it sweeps it, and CommitSwap
+	// re-canonicalizes the touched value bits in place — but ONLY for
+	// rows that are currently valid. planeValid counts valid rows so the
+	// commit path skips even the per-row staleness compares while no scan
+	// has run since the last rebind: engines that never scan (pure
+	// SwapDelta/ExecSwap users) pay a single integer test per commit.
+	planes     []uint64
+	planeGen   []int // planeGen[d] == planeEpoch ⇔ row d's planes are current
+	planeEpoch int
+	planeValid int // number of rows current at this epoch
 }
 
 // New returns a CAP model of order n with the given options.
@@ -104,19 +140,46 @@ func New(n int, opts Options) *Model {
 		depth = n - 1
 	}
 	width := 2*n - 1
+	sb := opts.ScanBlock
+	if sb <= 0 {
+		sb = DefaultScanBlock
+	}
+	if sb > n {
+		sb = n
+	}
 	m := &Model{
 		n:            n,
 		depth:        depth,
-		w:            make([]int, depth+1),
-		cnt:          make([]int32, depth*width),
-		rowBase:      make([]int, depth+1),
-		varCost:      make([]int, n),
 		genericReset: opts.GenericReset,
-		cand:         make([]int, n),
-		best:         make([]int, n),
-		errVars:      make([]int, 0, n),
-		resetKs:      resetConstants(n),
-		seenReset:    make([]int, (depth+1)*width),
+		scanBlock:    sb,
+	}
+	// One arena per element type: every []int scratch is a full-capacity
+	// sub-slice of ints (so no slice can grow into its neighbour — the
+	// capacities TestScratchCapacityBounded pins are real), and the int32
+	// slab of the scan kernel rides on the counter block's allocation.
+	// This keeps a whole Model at 4 heap allocations (3 when n > 32 and
+	// the plane cache is absent); table1's per-solve setup cost is pinned
+	// by TestPerSolveSetupAllocBudget.
+	ints := make([]int, 3*(depth+1)+4*n+4+(depth+1)*width)
+	carve := func(k int) []int {
+		s := ints[:k:k]
+		ints = ints[k:]
+		return s
+	}
+	m.w = carve(depth + 1)
+	m.rowBase = carve(depth + 1)
+	m.varCost = carve(n)
+	m.cand = carve(n)
+	m.best = carve(n)
+	m.errVars = carve(n)[:0]
+	m.resetKs = resetConstantsInto(carve(4)[:0], n)
+	m.seenReset = carve((depth + 1) * width)
+	m.planeGen = carve(depth + 1)
+	lanes := make([]int32, depth*width+sb)
+	m.cnt = lanes[: depth*width : depth*width]
+	m.scanAcc = lanes[depth*width:]
+	if width <= 64 {
+		m.planes = make([]uint64, 3*depth)
 	}
 	for d := 1; d <= depth; d++ {
 		if opts.Err == ErrUnit {
@@ -173,6 +236,10 @@ func (m *Model) Bind(cfg []int) {
 		}
 	}
 	m.varDirty = true
+	// O(1) plane invalidation: every row's planeGen now lags the epoch;
+	// the scan rebuilds rows from the fresh counters on demand.
+	m.planeEpoch++
+	m.planeValid = 0
 }
 
 // Cost implements csp.Model (O(1): maintained incrementally).
@@ -412,38 +479,99 @@ func (m *Model) CommitSwap(i, j, delta int) {
 	off := n - 1
 	cnt := m.cnt
 	width := 2*n - 1
-	base := 0
-	for d := 1; d <= m.depth; d, base = d+1, base+width {
-		row := cnt[base : base+width]
-		if a := i - d; a >= 0 {
-			ov, nv := vi-cfg[a], vj-cfg[a]
-			if ov != nv {
-				row[ov+off]--
-				row[nv+off]++
+	// Keep a row's bit planes in sync ONLY while it is currently valid;
+	// stale rows (no scan since the last rebind) are rebuilt wholesale by
+	// the next sweep. The two loop bodies below differ only in the plane
+	// upkeep: planeValid == 0 — the never-scanned case — takes the first,
+	// plane-free loop, so engines that only probe and commit pay exactly
+	// the pre-cache write path plus this one test.
+	if m.planeValid == 0 {
+		base := 0
+		for d := 1; d <= m.depth; d, base = d+1, base+width {
+			row := cnt[base : base+width]
+			if a := i - d; a >= 0 {
+				ov, nv := vi-cfg[a], vj-cfg[a]
+				if ov != nv {
+					row[ov+off]--
+					row[nv+off]++
+				}
+			}
+			if b := i + d; b < n {
+				ov, nv := cfg[b]-vi, cfg[b]-vj
+				if b == j {
+					nv = vi - vj
+				}
+				if ov != nv {
+					row[ov+off]--
+					row[nv+off]++
+				}
+			}
+			if a := j - d; a >= 0 && a != i {
+				ov, nv := vj-cfg[a], vi-cfg[a]
+				if ov != nv {
+					row[ov+off]--
+					row[nv+off]++
+				}
+			}
+			if b := j + d; b < n {
+				ov, nv := cfg[b]-vj, cfg[b]-vi
+				if ov != nv {
+					row[ov+off]--
+					row[nv+off]++
+				}
 			}
 		}
-		if b := i + d; b < n {
-			ov, nv := cfg[b]-vi, cfg[b]-vj
-			if b == j {
-				nv = vi - vj
+	} else {
+		base := 0
+		for d := 1; d <= m.depth; d, base = d+1, base+width {
+			row := cnt[base : base+width]
+			fixP := m.planeGen[d] == m.planeEpoch
+			if a := i - d; a >= 0 {
+				ov, nv := vi-cfg[a], vj-cfg[a]
+				if ov != nv {
+					row[ov+off]--
+					row[nv+off]++
+					if fixP {
+						m.planeFix(d, ov+off)
+						m.planeFix(d, nv+off)
+					}
+				}
 			}
-			if ov != nv {
-				row[ov+off]--
-				row[nv+off]++
+			if b := i + d; b < n {
+				ov, nv := cfg[b]-vi, cfg[b]-vj
+				if b == j {
+					nv = vi - vj
+				}
+				if ov != nv {
+					row[ov+off]--
+					row[nv+off]++
+					if fixP {
+						m.planeFix(d, ov+off)
+						m.planeFix(d, nv+off)
+					}
+				}
 			}
-		}
-		if a := j - d; a >= 0 && a != i {
-			ov, nv := vj-cfg[a], vi-cfg[a]
-			if ov != nv {
-				row[ov+off]--
-				row[nv+off]++
+			if a := j - d; a >= 0 && a != i {
+				ov, nv := vj-cfg[a], vi-cfg[a]
+				if ov != nv {
+					row[ov+off]--
+					row[nv+off]++
+					if fixP {
+						m.planeFix(d, ov+off)
+						m.planeFix(d, nv+off)
+					}
+				}
 			}
-		}
-		if b := j + d; b < n {
-			ov, nv := cfg[b]-vj, cfg[b]-vi
-			if ov != nv {
-				row[ov+off]--
-				row[nv+off]++
+			if b := j + d; b < n {
+				ov, nv := cfg[b]-vj, cfg[b]-vi
+				if ov != nv {
+					row[ov+off]--
+					row[nv+off]++
+					if fixP {
+						m.planeFix(d, ov+off)
+						m.planeFix(d, nv+off)
+					}
+				}
 			}
 		}
 	}
@@ -452,10 +580,82 @@ func (m *Model) CommitSwap(i, j, delta int) {
 	m.varDirty = true
 }
 
+// planeFix canonicalizes value index v's three plane bits in row d from the
+// current counter. It is idempotent and order-free — it derives the bits
+// from the count rather than transitioning them — so CommitSwap may call it
+// after each counter write of a row without tracking which pair touched a
+// value last.
+func (m *Model) planeFix(d, v int) {
+	po := 3 * (d - 1)
+	c := m.cnt[m.rowBase[d]+v]
+	bit := uint64(1) << uint(v&63)
+	if c >= 1 {
+		m.planes[po] |= bit
+	} else {
+		m.planes[po] &^= bit
+	}
+	if c >= 2 {
+		m.planes[po+1] |= bit
+	} else {
+		m.planes[po+1] &^= bit
+	}
+	if c >= 3 {
+		m.planes[po+2] |= bit
+	} else {
+		m.planes[po+2] &^= bit
+	}
+}
+
+// planeRebuildRow recomputes row d's planes from its counters and marks the
+// row current — the O(width) slow path taken once per row after a rebind,
+// on the row's first sweep.
+func (m *Model) planeRebuildRow(d int) {
+	row := m.cnt[m.rowBase[d] : m.rowBase[d]+2*m.n-1]
+	var b1, b2, b3 uint64
+	for v, c := range row {
+		if c >= 1 {
+			bit := uint64(1) << uint(v&63)
+			b1 |= bit
+			if c >= 2 {
+				b2 |= bit
+				if c >= 3 {
+					b3 |= bit
+				}
+			}
+		}
+	}
+	po := 3 * (d - 1)
+	m.planes[po], m.planes[po+1], m.planes[po+2] = b1, b2, b3
+	if m.planeGen[d] != m.planeEpoch {
+		m.planeGen[d] = m.planeEpoch
+		m.planeValid++
+	}
+}
+
 // scanCost computes the global cost of an arbitrary configuration without
 // touching the model's incremental state — used to evaluate the candidate
 // perturbations generated by Reset. O(n·depth).
+//
+// When a row of the difference triangle fits one machine word (n ≤ 32, the
+// same condition that enables the bit-plane scan cache) it uses the scan
+// kernel's row-cost identity — cost(row) = #pairs − #distinct values — so a
+// row costs one OR-accumulated presence mask and a single popcount instead
+// of per-pair seen-mark bookkeeping. Wider instances keep the generation-
+// tagged seen array.
 func (m *Model) scanCost(cfg []int) int {
+	if m.planes != nil {
+		n := m.n
+		off := n - 1
+		cost := 0
+		for d := 1; d <= m.depth; d++ {
+			var mask uint64
+			for i, e := 0, n-d; i < e; i++ {
+				mask |= uint64(1) << uint((cfg[i+d]-cfg[i]+off)&63)
+			}
+			cost += m.w[d] * (n - d - bits.OnesCount64(mask))
+		}
+		return cost
+	}
 	m.seenGen++
 	gen := m.seenGen
 	width := 2*m.n - 1
@@ -607,12 +807,12 @@ func (m *Model) shiftTry(cfg []int, lo, hi int, try func() bool) bool {
 	return try()
 }
 
-// resetConstants returns the circular-addition constants of §IV-B2 (1, 2,
-// n−2, n−3), filtered and deduplicated for small n. It is called once at
-// construction (m.resetKs) so Reset allocates nothing.
-func resetConstants(n int) []int {
+// resetConstantsInto appends the circular-addition constants of §IV-B2 (1,
+// 2, n−2, n−3), filtered and deduplicated for small n, to out (a zero-len
+// capacity-4 arena slice). It is called once at construction (m.resetKs) so
+// Reset allocates nothing.
+func resetConstantsInto(out []int, n int) []int {
 	raw := [4]int{1, 2, n - 2, n - 3}
-	out := make([]int, 0, 4)
 	for _, k := range raw {
 		k = ((k % n) + n) % n
 		if k == 0 {

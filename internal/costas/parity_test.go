@@ -150,6 +150,66 @@ func TestDeltaPathMatchesFallback(t *testing.T) {
 	}
 }
 
+// deltaOnlyModel wraps *Model exposing the csp.Model + csp.DeltaModel +
+// csp.Resetter surface but hiding ONLY ScanSwaps: engines that resolve the
+// probe chain land on the scalar SwapDelta tier instead of the batched scan.
+// It isolates the middle link of the ScanModel → DeltaModel → Model chain,
+// where plainModel only exercises the chain's last resort.
+type deltaOnlyModel struct{ m *Model }
+
+func (p deltaOnlyModel) Size() int                       { return p.m.Size() }
+func (p deltaOnlyModel) Bind(cfg []int)                  { p.m.Bind(cfg) }
+func (p deltaOnlyModel) Cost() int                       { return p.m.Cost() }
+func (p deltaOnlyModel) VarCost(i int) int               { return p.m.VarCost(i) }
+func (p deltaOnlyModel) CostIfSwap(i, j int) int         { return p.m.CostIfSwap(i, j) }
+func (p deltaOnlyModel) ExecSwap(i, j int)               { p.m.ExecSwap(i, j) }
+func (p deltaOnlyModel) SwapDelta(i, j int) int          { return p.m.SwapDelta(i, j) }
+func (p deltaOnlyModel) CommitSwap(i, j, delta int)      { p.m.CommitSwap(i, j, delta) }
+func (p deltaOnlyModel) Reset(cfg []int, r *rng.RNG) int { return p.m.Reset(cfg, r) }
+
+var _ csp.DeltaModel = deltaOnlyModel{}
+var _ csp.Resetter = deltaOnlyModel{}
+
+// TestScanPathMatchesDeltaPath runs each engine twice from the same seed —
+// once with the full ScanModel surface (batched neighborhood scan), once
+// through deltaOnlyModel (scalar SwapDelta probes) — and requires identical
+// cost trajectories. Together with TestDeltaPathMatchesFallback this pins
+// every link of the probe chain to the same behaviour.
+func TestScanPathMatchesDeltaPath(t *testing.T) {
+	for _, engine := range []string{"adaptive", "tabu", "hillclimb", "dialectic"} {
+		for _, errf := range []ErrFunc{ErrUnit, ErrQuadratic} {
+			n, steps := 13, 600
+			if engine == "dialectic" {
+				n, steps = 11, 25
+			}
+			const seed = 246813579
+			fast := New(n, Options{Err: errf})
+			slow := New(n, Options{Err: errf})
+			if _, ok := csp.Model(fast).(csp.ScanModel); !ok {
+				t.Fatal("costas.Model must implement csp.ScanModel")
+			}
+			if _, ok := csp.Model(deltaOnlyModel{slow}).(csp.ScanModel); ok {
+				t.Fatal("deltaOnlyModel wrapper must hide ScanSwaps")
+			}
+			ef := newParityEngine(engine, fast, n, seed)
+			es := newParityEngine(engine, deltaOnlyModel{slow}, n, seed)
+			for k := 0; k < steps; k++ {
+				df := ef.Step(1)
+				ds := es.Step(1)
+				if df != ds || ef.Cost() != es.Cost() ||
+					ef.Stats().Iterations != es.Stats().Iterations {
+					t.Fatalf("%s err=%d step %d: scan path (solved=%v cost=%d iters=%d) diverged from delta path (solved=%v cost=%d iters=%d)",
+						engine, errf, k, df, ef.Cost(), ef.Stats().Iterations,
+						ds, es.Cost(), es.Stats().Iterations)
+				}
+				if df || ef.Exhausted() {
+					break
+				}
+			}
+		}
+	}
+}
+
 // TestScratchCapacityBounded: a long solve with many resets must not grow
 // any of the model's scratch slices — the hot path is allocation-free and
 // capacity-stable (the old undo log both allocated and retained).

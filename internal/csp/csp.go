@@ -95,6 +95,39 @@ type DeltaModel interface {
 	CommitSwap(i, j, delta int)
 }
 
+// ScanModel is the batch extension of DeltaModel for engines that probe a
+// whole swap neighborhood per committed move. Where DeltaModel turns one
+// probe into a read-only delta, ScanModel turns the n−1 probes of a
+// worst-variable scan into ONE pass over the model's incremental state:
+//
+//	ScanSwaps(i, deltas)   ≡ deltas[j] = SwapDelta(i, j) for every j
+//	                         (deltas[i] = 0), with no OBSERVABLE state
+//	                         change: cost, per-variable errors and every
+//	                         future probe answer are exactly as if the
+//	                         scan never ran. (An implementation may
+//	                         settle internal caches — e.g. refresh a
+//	                         lazily-maintained acceleration structure —
+//	                         but nothing visible through the interface.)
+//
+// The identity is exact, element for element — the conformance, parity and
+// fuzz suites pin ScanSwaps(i)[j] == SwapDelta(i, j) — so engines may mix
+// the two freely and a batch adoption can never change a trajectory, only
+// its cost. deltas must have length Size(); the engine owns it as reusable
+// scratch (the batch path stays allocation-free). Engines type-assert for
+// ScanModel first, then DeltaModel, then fall back to the plain Model
+// methods, so implementing it is strictly an optimisation, exactly like
+// DeltaModel.
+type ScanModel interface {
+	DeltaModel
+
+	// ScanSwaps computes, in one pass, the global-cost change that
+	// swapping position i with every other position would cause, writing
+	// SwapDelta(i, j) into deltas[j] for all j (deltas[i] = 0). It must
+	// not change any observable state (internal caches may be refreshed).
+	// It panics if len(deltas) != Size().
+	ScanSwaps(i int, deltas []int)
+}
+
 // Resetter is implemented by models providing a dedicated escape procedure
 // from local minima, replacing the engine's generic percentage reset — the
 // paper's custom CAP reset (§IV-B2) is the canonical example. Reset may

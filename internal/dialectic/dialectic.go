@@ -47,9 +47,11 @@ type Stats = csp.Stats
 type Solver struct {
 	model  csp.Model
 	dm     csp.DeltaModel // non-nil iff model implements the hot-path contract
+	sm     csp.ScanModel  // non-nil iff model also implements the batch probe
 	params Params
 	r      *rng.RNG
 
+	deltas    []int // batch-scan scratch (nil unless sm != nil)
 	cfg       []int
 	best      []int
 	stats     Stats
@@ -89,6 +91,9 @@ func New(model csp.Model, params Params, seed uint64) *Solver {
 		pos:     make([]int, n),
 	}
 	s.dm, _ = model.(csp.DeltaModel)
+	if s.sm, _ = model.(csp.ScanModel); s.sm != nil {
+		s.deltas = make([]int, n)
+	}
 	s.cfg = csp.RandomConfiguration(n, s.r)
 	model.Bind(s.cfg)
 	s.best = csp.Clone(s.cfg)
@@ -227,11 +232,20 @@ func (s *Solver) descend() {
 		}
 		bestI, bestJ, bestCost := -1, -1, cur
 		for i := 0; i < n-1; i++ {
+			if s.sm != nil {
+				// One batched pass per row of the quadratic neighborhood;
+				// the inner loop reads the j > i half of the precomputed
+				// deltas in the per-probe evaluation order.
+				s.sm.ScanSwaps(i, s.deltas)
+			}
 			for j := i + 1; j < n; j++ {
 				var c int
-				if s.dm != nil {
+				switch {
+				case s.sm != nil:
+					c = cur + s.deltas[j]
+				case s.dm != nil:
 					c = cur + s.dm.SwapDelta(i, j)
-				} else {
+				default:
 					c = m.CostIfSwap(i, j)
 				}
 				s.stats.Evaluations++

@@ -33,9 +33,17 @@ type Params struct {
 type Stats = csp.Stats
 
 // Solver is a random-restart first-improvement hill climber.
+//
+// The climber resolves the full probe chain (csp.ScanModel → csp.DeltaModel
+// → plain csp.Model) like the other engines, but its move rule samples ONE
+// random pair per iteration — there is no worst-variable neighborhood scan
+// to batch — so the scan kernel would compute n−1 deltas to read one. It
+// therefore keeps the scalar SwapDelta probe; sm is resolved only so the
+// chain is uniform (and exercised by the conformance suite).
 type Solver struct {
 	model  csp.Model
 	dm     csp.DeltaModel // non-nil iff model implements the hot-path contract
+	sm     csp.ScanModel  // resolved for chain uniformity; unused by the sampler
 	params Params
 	r      *rng.RNG
 
@@ -61,6 +69,7 @@ func New(model csp.Model, params Params, seed uint64) *Solver {
 	}
 	s := &Solver{model: model, params: params, r: rng.New(seed)}
 	s.dm, _ = model.(csp.DeltaModel)
+	s.sm, _ = model.(csp.ScanModel)
 	s.cfg = csp.RandomConfiguration(model.Size(), s.r)
 	model.Bind(s.cfg)
 	s.solved = model.Cost() == 0

@@ -35,9 +35,11 @@ type Stats = csp.Stats
 type Solver struct {
 	model  csp.Model
 	dm     csp.DeltaModel // non-nil iff model implements the hot-path contract
+	sm     csp.ScanModel  // non-nil iff model also implements the batch probe
 	params Params
 	r      *rng.RNG
 
+	deltas    []int // batch-scan scratch (nil unless sm != nil)
 	cfg       []int
 	tabu      [][]int64 // tabu[i][j]: iteration until which swapping values i,j is tabu
 	bestCost  int
@@ -72,6 +74,9 @@ func New(model csp.Model, params Params, seed uint64) *Solver {
 		tabu:   make([][]int64, n),
 	}
 	s.dm, _ = model.(csp.DeltaModel)
+	if s.sm, _ = model.(csp.ScanModel); s.sm != nil {
+		s.deltas = make([]int, n)
+	}
 	for i := range s.tabu {
 		s.tabu[i] = make([]int64, n)
 	}
@@ -142,11 +147,20 @@ func (s *Solver) iterate() bool {
 	bestI, bestJ, bestMove := -1, -1, int(^uint(0)>>1)
 	aspired := false
 	for i := 0; i < n-1; i++ {
+		if s.sm != nil {
+			// One batched pass per row of the quadratic neighborhood; the
+			// inner loop reads the j > i half of the precomputed deltas in
+			// the exact order the per-probe scan would have evaluated them.
+			s.sm.ScanSwaps(i, s.deltas)
+		}
 		for j := i + 1; j < n; j++ {
 			var c int
-			if s.dm != nil {
+			switch {
+			case s.sm != nil:
+				c = cur + s.deltas[j]
+			case s.dm != nil:
 				c = cur + s.dm.SwapDelta(i, j)
-			} else {
+			default:
 				c = m.CostIfSwap(i, j)
 			}
 			s.stats.Evaluations++
