@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -69,6 +70,12 @@ type Result struct {
 	Speedup      float64 `json:"speedup,omitempty"`
 	// SteadyState marks benchmarks gated to 0 allocs/op in -smoke mode.
 	SteadyState bool `json:"steady_state,omitempty"`
+	// P99NsOp and QPS extend "serving/..." rows, where one op is one HTTP
+	// request through a loopback solverd: NsOp is the p50 request
+	// latency, P99NsOp the 99th percentile, QPS the sustained closed-loop
+	// throughput.
+	P99NsOp float64 `json:"p99_ns_op,omitempty"`
+	QPS     float64 `json:"qps,omitempty"`
 }
 
 // File is the top-level BENCH_costas.json document.
@@ -315,6 +322,17 @@ func runAll(benchtime string) ([]Result, error) {
 	return out, failed
 }
 
+// carryOver appends baseline rows belonging to a suite this run skipped.
+func carryOver(results []Result, base *File, ranKernel, ranServing bool) []Result {
+	for _, b := range base.Benchmarks {
+		isServing := strings.HasPrefix(b.Name, "serving/")
+		if (isServing && !ranServing) || (!isServing && !ranKernel) {
+			results = append(results, b)
+		}
+	}
+	return results
+}
+
 // mergeBaseline fills BaselineNsOp/Speedup from a previously recorded file.
 func mergeBaseline(results []Result, baseline *File) {
 	prev := map[string]Result{}
@@ -331,13 +349,20 @@ func mergeBaseline(results []Result, baseline *File) {
 
 func main() {
 	var (
-		smoke      = flag.Bool("smoke", false, "CI mode: short runs + fail on steady-state allocs/op > 0 or a >maxregress slowdown vs baseline; writes no file unless -out is given")
+		smoke      = flag.Bool("smoke", false, "CI mode: short runs + fail on steady-state allocs/op > 0, a >maxregress slowdown vs baseline, or a serving hit gain below -minhitgain; writes no file unless -out is given")
 		maxregress = flag.Float64("maxregress", 0.10, "with -smoke: allowed fractional steady-state slowdown vs the baseline file (0.10 = 10%)")
 		benchtime  = flag.String("benchtime", "", `testing benchtime (default "2s", or "0.3s" with -smoke)`)
+		kernel     = flag.Bool("kernel", false, "run only the kernel/engine/table/pool suite")
+		serving    = flag.Bool("serving", false, "run only the serving (HTTP fast path) suite")
+		servtime   = flag.Duration("servingtime", 0, `per-row serving load window (default 3s, or 500ms with -smoke)`)
+		clients    = flag.Int("clients", 0, "serving suite closed-loop clients (default GOMAXPROCS)")
+		minhitgain = flag.Float64("minhitgain", 2.0, "with -smoke: required ratio of solve-path p50 to cached-hit p50 (machine-independent serving gate)")
 		out        = flag.String("out", "BENCH_costas.json", "output file (\"-\" for stdout)")
 		baseline   = flag.String("baseline", "BENCH_costas.json", "recorded baseline to compare against (skipped if missing)")
 	)
 	flag.Parse()
+	// Neither suite flag = the full recording run does both.
+	doKernel, doServing := *kernel || !*serving, *serving || !*kernel
 	testing.Init()
 	outSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -370,13 +395,44 @@ func main() {
 		}
 	}
 
-	results, err := runAll(bt)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "perfbench:", err)
-		os.Exit(2)
+	var results []Result
+	if doKernel {
+		r, err := runAll(bt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(2)
+		}
+		results = append(results, r...)
 	}
+	if doServing {
+		dur := *servtime
+		if dur <= 0 {
+			if *smoke {
+				dur = 500 * time.Millisecond
+			} else {
+				dur = 3 * time.Second
+			}
+		}
+		nclients := *clients
+		if nclients <= 0 {
+			nclients = runtime.GOMAXPROCS(0)
+		}
+		r, err := runServing(dur, nclients)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(2)
+		}
+		results = append(results, r...)
+	}
+	// fileRows is what gets recorded: a single-suite run keeps the other
+	// suite's committed rows (verbatim, their recorded trajectory intact)
+	// so a partial regeneration never drops half the file. Printing and
+	// the smoke gates below stay on `results` — only rows actually
+	// measured this run are reported or gated.
+	fileRows := results
 	if base != nil {
 		mergeBaseline(results, base)
+		fileRows = carryOver(results, base, doKernel, doServing)
 	}
 
 	doc := File{
@@ -387,7 +443,7 @@ func main() {
 		GOARCH:     runtime.GOARCH,
 		CPUs:       runtime.NumCPU(),
 		Benchtime:  bt,
-		Benchmarks: results,
+		Benchmarks: fileRows,
 	}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -414,6 +470,9 @@ func main() {
 		if r.ItersOp > 0 {
 			line += fmt.Sprintf(" (%.0f iters/op)", r.ItersOp)
 		}
+		if r.QPS > 0 {
+			line += fmt.Sprintf(" (p99 %.0f ns, %.0f req/s)", r.P99NsOp, r.QPS)
+		}
 		if r.Speedup > 0 {
 			line += fmt.Sprintf("  %.2fx vs baseline", r.Speedup)
 		}
@@ -427,6 +486,30 @@ func main() {
 			fmt.Fprintf(os.Stderr, "perfbench: FAIL: %s regressed to %.0f ns/op (%.2fx of the %.0f ns/op baseline, tolerance %.0f%%)\n",
 				r.Name, r.NsOp, r.Speedup, r.BaselineNsOp, 100**maxregress)
 			failed = true
+		}
+	}
+	// The serving gate is a ratio, not an absolute: shared CI runners
+	// vary wildly in wall-clock speed, but the cached-replay path must
+	// always beat the solve path by a wide machine-independent margin.
+	if *smoke && doServing {
+		var hit0, hit100 float64
+		for _, r := range results {
+			switch r.Name {
+			case servingHit0:
+				hit0 = r.NsOp
+			case servingHit100:
+				hit100 = r.NsOp
+			}
+		}
+		if hit0 <= 0 || hit100 <= 0 {
+			fmt.Fprintln(os.Stderr, "perfbench: FAIL: serving gate rows missing")
+			failed = true
+		} else if gain := hit0 / hit100; gain < *minhitgain {
+			fmt.Fprintf(os.Stderr, "perfbench: FAIL: cached-hit p50 is only %.1fx faster than the solve path (want ≥ %.1fx): hit0 p50 %.0f ns vs hit100 p50 %.0f ns\n",
+				gain, *minhitgain, hit0, hit100)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "perfbench: serving hit gain %.1fx (gate ≥ %.1fx)\n", gain, *minhitgain)
 		}
 	}
 	if failed {

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/service"
+)
+
+// The serving suite measures the HTTP fast path end to end: a loopback
+// solverd (the real service handler behind a real TCP listener, so the
+// wire cost is in the numbers) driven by closed-loop clients at three
+// cache-hit mixes. Row names are stable — CI gates and the committed
+// trajectory key on them.
+const (
+	servingModel   = "costas n=14" // hard enough that a solve dwarfs the wire cost
+	servingHit0    = "serving/solve_n14_hit0"
+	servingHit90   = "serving/solve_n14_hit90"
+	servingHit100  = "serving/solve_n14_hit100"
+	servingPool    = 64 // warmed seed pool behind the hit mixes
+	servingTimeout = int64(30_000)
+)
+
+// runServing benchmarks the serving fast path and returns serving/* rows:
+// NsOp is the p50 request latency, P99NsOp the tail, QPS the sustained
+// closed-loop throughput.
+//
+//	hit0   — every request a fresh explicit seed: the full solve path
+//	         (cache misses that populate, never hit).
+//	hit90  — 9 of 10 requests from the warmed pool: the steady mixed
+//	         traffic a deployed node sees.
+//	hit100 — all requests from the warmed pool: the pure replay path.
+func runServing(dur time.Duration, clients int) ([]Result, error) {
+	srv := service.New(service.Config{Workers: runtime.GOMAXPROCS(0)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        clients,
+		MaxIdleConnsPerHost: clients,
+		IdleConnTimeout:     90 * time.Second,
+	}}
+
+	poolSeed := func(i int) uint64 { return uint64(1 + i%servingPool) }
+	freshBase := uint64(1_000_000)
+
+	solve := func(seed uint64) error {
+		body := fmt.Sprintf(`{"model":%q,"options":{"seed":%d},"timeout_ms":%d}`,
+			servingModel, seed, servingTimeout)
+		resp, err := client.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+
+	rows := []struct {
+		name string
+		fn   func(seq int) error
+		warm int
+	}{
+		{servingHit0, func(seq int) error {
+			if seq < 0 { // warmup: connections only, seeds outside every mix
+				return solve(freshBase*2 + uint64(-seq))
+			}
+			return solve(freshBase + uint64(seq))
+		}, clients},
+		{servingHit90, func(seq int) error {
+			if seq < 0 {
+				return solve(poolSeed(-seq - 1))
+			}
+			if seq%10 == 9 { // every tenth request misses with a fresh seed
+				return solve(freshBase*3 + uint64(seq))
+			}
+			return solve(poolSeed(seq))
+		}, servingPool},
+		{servingHit100, func(seq int) error {
+			if seq < 0 {
+				return solve(poolSeed(-seq - 1))
+			}
+			return solve(poolSeed(seq))
+		}, servingPool},
+	}
+
+	out := make([]Result, 0, len(rows))
+	for _, row := range rows {
+		st := loadgen.Run(loadgen.Config{Clients: clients, Duration: dur, Warmup: row.warm}, row.fn)
+		if st.Requests == 0 {
+			return out, fmt.Errorf("serving row %s recorded no requests in %v", row.name, dur)
+		}
+		if st.Errors > 0 {
+			return out, fmt.Errorf("serving row %s: %d of %d requests failed", row.name, st.Errors, st.Requests)
+		}
+		fmt.Fprintf(os.Stderr, "%-32s %s\n", row.name, st)
+		out = append(out, Result{
+			Name:    row.name,
+			NsOp:    float64(st.P50),
+			P99NsOp: float64(st.P99),
+			QPS:     st.QPS,
+		})
+	}
+	return out, nil
+}

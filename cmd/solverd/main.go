@@ -22,6 +22,13 @@
 //	solverd -addr :8082 &
 //	solverd -addr :8080 -workers localhost:8081,localhost:8082
 //
+// Serving fast path (-cache-size, -rate, -burst, -client-header):
+// explicit-seed deterministic solves are cached and replayed
+// byte-identically without occupying a worker slot, identical concurrent
+// solves coalesce into one in-flight run, and per-client token buckets
+// refuse floods with 429 + Retry-After. /metrics exposes the cache,
+// coalescing and 429 counters plus per-endpoint latency histograms.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, running
 // solves are cancelled at their next probe quantum, async jobs drain.
 //
@@ -59,6 +66,10 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "default per-request solve deadline (0 = none)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (separate listener, e.g. localhost:6060; empty = disabled)")
+		cacheSize  = flag.Int("cache-size", 0, "deterministic response cache entries (0 = default, negative = disable caching and coalescing)")
+		rate       = flag.Float64("rate", 0, "per-client rate limit on solve/batch in requests/second (0 = unlimited); over the limit replies 429 + Retry-After")
+		burst      = flag.Int("burst", 0, "rate-limit token-bucket depth (0 = 2×rate)")
+		clientHdr  = flag.String("client-header", "", `request header naming the client for rate limiting (default "X-Client-Key"; clients without it are keyed by remote address)`)
 	)
 	flag.Parse()
 
@@ -109,10 +120,14 @@ func main() {
 	}
 
 	cfg := service.Config{
-		Workers:        workerCount,
-		MaxWalkers:     *maxWalkers,
-		MaxBatchJobs:   *maxBatch,
-		DefaultTimeout: *timeout,
+		Workers:         workerCount,
+		MaxWalkers:      *maxWalkers,
+		MaxBatchJobs:    *maxBatch,
+		DefaultTimeout:  *timeout,
+		CacheSize:       *cacheSize,
+		RateLimit:       *rate,
+		RateBurst:       *burst,
+		ClientKeyHeader: *clientHdr,
 	}
 	if pool != nil {
 		cfg.Backend = pool

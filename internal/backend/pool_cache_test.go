@@ -1,0 +1,126 @@
+package backend
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/csp"
+)
+
+// countingBackend wraps fakeBackend with a SolveSpec call counter.
+func countingBackend(calls *atomic.Int64, result core.Result) *fakeBackend {
+	return &fakeBackend{
+		name: "counting", capacity: 4,
+		solve: func(ctx context.Context, spec string, opts core.Options) (core.Result, error) {
+			calls.Add(1)
+			return cloneResult(result), nil
+		},
+	}
+}
+
+// TestPoolFrontCacheAnswersRepeatQueries: with CacheSize set, the second
+// identical explicit-seed solve never reaches a member and returns an
+// equal result.
+func TestPoolFrontCacheAnswersRepeatQueries(t *testing.T) {
+	var calls atomic.Int64
+	want := core.Result{
+		Solved: true, Array: []int{1, 3, 0, 2}, Winner: 0,
+		Iterations: 11, TotalIterations: 11, Stats: make([]csp.Stats, 1),
+	}
+	pool, err := NewPool([]Backend{countingBackend(&calls, want)}, PoolConfig{CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := core.Options{Seed: 7}
+	first, err := pool.SolveSpec(context.Background(), "costas n=4", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := pool.SolveSpec(context.Background(), "costas n=4", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("member solved %d times, want 1 (second call must hit the front cache)", n)
+	}
+	if !first.Solved || !second.Solved || len(second.Array) != len(first.Array) {
+		t.Fatalf("cached replay diverged: first=%+v second=%+v", first, second)
+	}
+	for i := range first.Array {
+		if first.Array[i] != second.Array[i] {
+			t.Fatalf("cached replay array diverged at %d: %v vs %v", i, first.Array, second.Array)
+		}
+	}
+
+	// Spec-carried options canonicalize into the same slot as
+	// options-carried ones: no third member call.
+	if _, err := pool.SolveSpec(context.Background(), "costas n=4 seed=7", core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("member solved %d times, want 1 (spec-form seed must share the cache slot)", n)
+	}
+}
+
+// TestPoolFrontCacheSkipsNondeterministicQueries: implicit-seed solves
+// bypass the cache entirely — every call reaches a member.
+func TestPoolFrontCacheSkipsNondeterministicQueries(t *testing.T) {
+	var calls atomic.Int64
+	res := core.Result{Solved: true, Array: []int{0}, Stats: make([]csp.Stats, 1)}
+	pool, err := NewPool([]Backend{countingBackend(&calls, res)}, PoolConfig{CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := pool.SolveSpec(context.Background(), "costas n=4", core.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("member solved %d times, want 3 (implicit seed must never cache)", n)
+	}
+}
+
+// TestPoolFrontCacheDoesNotAliasCallerMemory: mutating a returned
+// result's slices must not corrupt the cached copy.
+func TestPoolFrontCacheDoesNotAliasCallerMemory(t *testing.T) {
+	var calls atomic.Int64
+	res := core.Result{Solved: true, Array: []int{5, 6, 7}, Stats: make([]csp.Stats, 1)}
+	pool, err := NewPool([]Backend{countingBackend(&calls, res)}, PoolConfig{CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := pool.SolveSpec(context.Background(), "costas n=4", core.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Array[0] = -1 // caller scribbles on its copy
+	second, err := pool.SolveSpec(context.Background(), "costas n=4", core.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Array[0] != 5 {
+		t.Fatalf("cache entry aliased caller memory: got %v", second.Array)
+	}
+}
+
+// TestPoolCacheDisabledByDefault: the zero PoolConfig never caches.
+func TestPoolCacheDisabledByDefault(t *testing.T) {
+	var calls atomic.Int64
+	res := core.Result{Solved: true, Array: []int{0}, Stats: make([]csp.Stats, 1)}
+	pool, err := NewPool([]Backend{countingBackend(&calls, res)}, PoolConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := pool.SolveSpec(context.Background(), "costas n=4", core.Options{Seed: 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("member solved %d times, want 2 (caching must be opt-in)", n)
+	}
+}

@@ -44,8 +44,10 @@ type Remote struct {
 // RemoteConfig tunes a Remote backend. The zero value is production-safe.
 type RemoteConfig struct {
 	// Client is the HTTP client used for every call; nil uses a dedicated
-	// client with sane connection reuse (never http.DefaultClient, whose
-	// global state does not belong to this backend).
+	// client over a tuned http.Transport sized for coordinator fan-in —
+	// enough idle connections per host for the member's whole capacity to
+	// be in flight without re-dialing (never http.DefaultClient, whose
+	// global connection pool does not belong to this backend).
 	Client *http.Client
 	// Retries is how many times a transient failure is retried (on top of
 	// the first attempt); 0 means 2. Solves are safe to retry: a run spec
@@ -68,7 +70,7 @@ func NewRemote(addr string, cfg RemoteConfig) *Remote {
 		base = "http://" + base
 	}
 	if cfg.Client == nil {
-		cfg.Client = &http.Client{}
+		cfg.Client = newRemoteClient(cfg.Capacity)
 	}
 	if cfg.Retries == 0 {
 		cfg.Retries = 2
@@ -77,6 +79,29 @@ func NewRemote(addr string, cfg RemoteConfig) *Remote {
 		cfg.Backoff = 50 * time.Millisecond
 	}
 	return &Remote{base: base, cfg: cfg}
+}
+
+// newRemoteClient builds the default per-backend HTTP client: a
+// dedicated transport whose idle pool covers the member's capacity (so a
+// coordinator pushing capacity-wide concurrency reuses connections
+// instead of re-dialing per request — at high QPS the dial+handshake is
+// otherwise the dominant cost and burns ephemeral ports) with an idle
+// timeout short enough to shed connections when traffic moves away.
+// A Remote talks to exactly one host, so the per-host and total idle
+// limits coincide.
+func newRemoteClient(capacity int) *http.Client {
+	perHost := capacity
+	if perHost < 64 {
+		perHost = 64
+	}
+	return &http.Client{
+		Transport: &http.Transport{
+			Proxy:               http.ProxyFromEnvironment,
+			MaxIdleConns:        perHost,
+			MaxIdleConnsPerHost: perHost,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
 }
 
 func (r *Remote) Name() string { return "remote(" + r.base + ")" }

@@ -1,0 +1,146 @@
+// Package loadgen drives closed-loop load against a request function and
+// summarizes the result as a latency distribution plus sustained
+// throughput. It is the measurement half of the serving benchmarks
+// (cmd/perfbench -serving): the workload — which HTTP endpoint, what mix
+// of cache hits and misses — lives in the caller's closure; loadgen owns
+// the clients, the clock and the percentile math.
+//
+// Closed-loop means each client issues its next request only after the
+// previous one returns, so concurrency is bounded by Config.Clients and
+// the measured QPS is a *sustained* rate the server actually kept up
+// with, not an open-loop arrival rate that silently builds queue.
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config shapes one load run.
+type Config struct {
+	// Clients is how many closed-loop clients issue requests
+	// concurrently; values < 1 mean 1.
+	Clients int
+	// Duration is the measurement window. Requests in flight when it
+	// expires still complete and are recorded (the run measures whole
+	// requests, not a truncated tail).
+	Duration time.Duration
+	// Warmup requests are issued (round-robin across clients, seq < 0)
+	// before the window opens and are not recorded — connection setup and
+	// first-touch costs stay out of the distribution.
+	Warmup int
+}
+
+// Stats summarizes one run.
+type Stats struct {
+	Requests int64         // completed requests inside the window
+	Errors   int64         // requests whose fn returned an error
+	Elapsed  time.Duration // actual window length (≥ Config.Duration)
+	QPS      float64       // Requests / Elapsed — the sustained rate
+	P50      time.Duration // median request latency
+	P99      time.Duration // 99th-percentile request latency
+	Max      time.Duration // worst observed request latency
+	Mean     time.Duration
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d req (%d err) %.0f req/s p50=%v p99=%v max=%v",
+		s.Requests, s.Errors, s.QPS, s.P50, s.P99, s.Max)
+}
+
+// Run drives fn from Config.Clients closed-loop clients for
+// Config.Duration and returns the latency/throughput summary. fn is
+// called with a globally unique request sequence number (warmup calls
+// get negative numbers), so a workload can deterministically mix request
+// kinds — "every tenth request is a fresh seed" — without its own
+// synchronization. fn must be safe for concurrent calls.
+func Run(cfg Config, fn func(seq int) error) Stats {
+	clients := cfg.Clients
+	if clients < 1 {
+		clients = 1
+	}
+
+	for i := 0; i < cfg.Warmup; i++ {
+		_ = fn(-1 - i)
+	}
+
+	var (
+		seq    atomic.Int64
+		errs   atomic.Int64
+		stop   = make(chan struct{})
+		perCli = make([][]time.Duration, clients)
+		wg     sync.WaitGroup
+	)
+	start := time.Now()
+	time.AfterFunc(cfg.Duration, func() { close(stop) })
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, 1024)
+			for {
+				select {
+				case <-stop:
+					perCli[c] = lats
+					return
+				default:
+				}
+				n := int(seq.Add(1) - 1)
+				t0 := time.Now()
+				err := fn(n)
+				lats = append(lats, time.Since(t0))
+				if err != nil {
+					errs.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range perCli {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	st := Stats{
+		Requests: int64(len(all)),
+		Errors:   errs.Load(),
+		Elapsed:  elapsed,
+	}
+	if len(all) == 0 {
+		return st
+	}
+	st.QPS = float64(len(all)) / elapsed.Seconds()
+	st.P50 = percentile(all, 0.50)
+	st.P99 = percentile(all, 0.99)
+	st.Max = all[len(all)-1]
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	st.Mean = sum / time.Duration(len(all))
+	return st
+}
+
+// percentile reads the q-quantile (0 < q ≤ 1) of an ascending-sorted
+// latency slice with nearest-rank semantics: the smallest observation
+// such that at least q of the sample is ≤ it — an actual observation,
+// never an interpolated value that no request experienced.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.9999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

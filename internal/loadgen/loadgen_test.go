@@ -1,0 +1,88 @@
+package loadgen
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCountsAndMeasures(t *testing.T) {
+	st := Run(Config{Clients: 4, Duration: 100 * time.Millisecond}, func(seq int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if st.Requests == 0 {
+		t.Fatal("no requests recorded")
+	}
+	if st.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", st.Errors)
+	}
+	if st.P50 < time.Millisecond {
+		t.Fatalf("p50 = %v below the 1ms request floor", st.P50)
+	}
+	if st.P99 < st.P50 || st.Max < st.P99 {
+		t.Fatalf("ordering violated: p50=%v p99=%v max=%v", st.P50, st.P99, st.Max)
+	}
+	// 4 closed-loop clients at ~1ms/request sustain at most ~4000 req/s.
+	if st.QPS <= 0 || st.QPS > 4500 {
+		t.Fatalf("implausible QPS %.0f for 4 clients of 1ms requests", st.QPS)
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	boom := errors.New("boom")
+	st := Run(Config{Clients: 2, Duration: 20 * time.Millisecond}, func(seq int) error {
+		if seq%2 == 1 {
+			return boom
+		}
+		return nil
+	})
+	if st.Errors == 0 || st.Errors > st.Requests {
+		t.Fatalf("errors = %d of %d requests, want roughly half", st.Errors, st.Requests)
+	}
+}
+
+func TestWarmupIsNotRecorded(t *testing.T) {
+	var warm atomic.Int64
+	st := Run(Config{Clients: 1, Duration: 10 * time.Millisecond, Warmup: 7}, func(seq int) error {
+		if seq < 0 {
+			warm.Add(1)
+			time.Sleep(50 * time.Millisecond) // glacial warmup must not show in stats
+		}
+		return nil
+	})
+	if warm.Load() != 7 {
+		t.Fatalf("warmup ran %d times, want 7", warm.Load())
+	}
+	if st.Max >= 50*time.Millisecond {
+		t.Fatalf("warmup latency leaked into the distribution: max=%v", st.Max)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	data := make([]time.Duration, 100)
+	for i := range data {
+		data[i] = time.Duration(i+1) * time.Millisecond // 1..100ms
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.00, 100 * time.Millisecond},
+		{0.01, 1 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(data, c.q); got != c.want {
+			t.Fatalf("percentile(%.2f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := percentile([]time.Duration{7 * time.Millisecond}, 0.99); got != 7*time.Millisecond {
+		t.Fatalf("single-sample percentile = %v", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+}

@@ -1,0 +1,80 @@
+package servecache
+
+import (
+	"context"
+	"sync"
+)
+
+// Group coalesces concurrent calls that would perform identical work: at
+// most one execution of fn runs per key at a time, and every caller that
+// arrives while it is in flight receives the shared outcome. Paired with
+// a Cache this turns a thundering herd on one hard instance into one
+// worker-slot occupant — the herd's first request solves, the rest wait
+// on the flight, and latecomers hit the cache the flight populated.
+//
+// Unlike the classic singleflight, the work does not run on the first
+// caller's goroutine under the first caller's context: it runs on its
+// own goroutine under a flight context that is cancelled only when EVERY
+// waiter has abandoned (each waiter leaves when its own ctx ends). One
+// impatient client hanging up therefore cannot poison the flight for the
+// clients still waiting, while a fully abandoned flight still stops its
+// solve instead of burning a worker for nobody.
+type Group struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done    chan struct{} // closed after val/err are final
+	cancel  context.CancelFunc
+	waiters int
+	val     any
+	err     error
+}
+
+// Do returns the result of fn for key, coalescing with any in-flight
+// call for the same key. coalesced reports whether this call joined an
+// existing flight rather than starting one. When ctx ends before the
+// flight completes, Do returns ctx's error and the flight keeps running
+// for its remaining waiters (or is cancelled if this was the last one).
+func (g *Group) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (val any, err error, coalesced bool) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	f, ok := g.flights[key]
+	if ok {
+		f.waiters++
+		coalesced = true
+	} else {
+		fctx, cancel := context.WithCancel(context.Background())
+		f = &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+		g.flights[key] = f
+		go func() {
+			v, e := fn(fctx)
+			g.mu.Lock()
+			f.val, f.err = v, e
+			delete(g.flights, key)
+			g.mu.Unlock()
+			close(f.done) // publishes val/err to waiters
+			cancel()
+		}()
+	}
+	g.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.val, f.err, coalesced
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 {
+			// Last waiter gone: nobody wants this result any more — stop
+			// the work. (If the flight already completed, cancel is a
+			// no-op; its map entry is gone either way.)
+			f.cancel()
+		}
+		g.mu.Unlock()
+		return nil, ctx.Err(), coalesced
+	}
+}

@@ -1,0 +1,171 @@
+package servecache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGroupCoalescesConcurrentCalls: N concurrent calls with one key run
+// fn exactly once and all receive the shared outcome.
+func TestGroupCoalescesConcurrentCalls(t *testing.T) {
+	var g Group
+	var runs atomic.Int64
+	release := make(chan struct{})
+
+	const callers = 32
+	var wg sync.WaitGroup
+	vals := make([]any, callers)
+	coalesced := make([]bool, callers)
+	started := make(chan struct{}, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			v, err, co := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+				runs.Add(1)
+				<-release // hold the flight open until every caller has joined
+				return "result", nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			vals[i], coalesced[i] = v, co
+		}(i)
+	}
+	for i := 0; i < callers; i++ {
+		<-started
+	}
+	// Give the last joiners a beat to reach Do before releasing.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want exactly 1", n)
+	}
+	nco := 0
+	for i, v := range vals {
+		if v != "result" {
+			t.Fatalf("caller %d got %v", i, v)
+		}
+		if coalesced[i] {
+			nco++
+		}
+	}
+	if nco != callers-1 {
+		t.Fatalf("%d callers coalesced, want %d", nco, callers-1)
+	}
+}
+
+// TestGroupSeparateKeysDoNotCoalesce: different keys run independently.
+func TestGroupSeparateKeysDoNotCoalesce(t *testing.T) {
+	var g Group
+	var runs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := []string{"a", "b", "c", "d"}[i]
+			if _, err, co := g.Do(context.Background(), key, func(context.Context) (any, error) {
+				runs.Add(1)
+				return key, nil
+			}); err != nil || co {
+				t.Errorf("key %s: err=%v coalesced=%v", key, err, co)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := runs.Load(); n != 4 {
+		t.Fatalf("fn ran %d times, want 4", n)
+	}
+}
+
+// TestGroupWaiterAbandonKeepsFlightAlive: a waiter whose ctx ends gets
+// its own error immediately, while the flight completes for the rest.
+func TestGroupWaiterAbandonKeepsFlightAlive(t *testing.T) {
+	var g Group
+	release := make(chan struct{})
+	inFlight := make(chan struct{})
+
+	type outcome struct {
+		v   any
+		err error
+	}
+	leaderDone := make(chan outcome, 1)
+	go func() {
+		v, err, _ := g.Do(context.Background(), "k", func(fctx context.Context) (any, error) {
+			close(inFlight)
+			select {
+			case <-release:
+				return 42, nil
+			case <-fctx.Done():
+				return nil, fctx.Err()
+			}
+		})
+		leaderDone <- outcome{v, err}
+	}()
+	<-inFlight
+
+	// An impatient second caller joins, then hangs up.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err, co := g.Do(ctx, "k", nil); !errors.Is(err, context.Canceled) || !co {
+		t.Fatalf("abandoned waiter: err=%v coalesced=%v, want context.Canceled, true", err, co)
+	}
+
+	close(release)
+	if out := <-leaderDone; out.err != nil || out.v != 42 {
+		t.Fatalf("flight poisoned by abandoned waiter: %+v", out)
+	}
+}
+
+// TestGroupLastWaiterCancelsFlight: when every waiter abandons, the
+// flight context fires so the work stops instead of running for nobody.
+func TestGroupLastWaiterCancelsFlight(t *testing.T) {
+	var g Group
+	inFlight := make(chan struct{})
+	stopped := make(chan error, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go g.Do(ctx, "k", func(fctx context.Context) (any, error) {
+		close(inFlight)
+		<-fctx.Done()
+		stopped <- fctx.Err()
+		return nil, fctx.Err()
+	})
+	<-inFlight
+	cancel() // the only waiter leaves
+
+	select {
+	case err := <-stopped:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("flight ctx error %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight kept running after its last waiter left")
+	}
+}
+
+// TestGroupSequentialCallsRunSeparately: once a flight completes, the
+// next call for the same key starts fresh (the Group never caches).
+func TestGroupSequentialCallsRunSeparately(t *testing.T) {
+	var g Group
+	var runs atomic.Int64
+	for i := 0; i < 3; i++ {
+		v, err, co := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+			return runs.Add(1), nil
+		})
+		if err != nil || co {
+			t.Fatalf("call %d: err=%v coalesced=%v", i, err, co)
+		}
+		if v.(int64) != int64(i+1) {
+			t.Fatalf("call %d reused a stale flight result %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package servecache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/core"
+	"repro/internal/costas"
+)
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	// Capacity below shardCount clamps every shard to one entry, so two
+	// same-shard keys always evict deterministically; build colliding
+	// keys by probing the shard hash.
+	c := New(1)
+	base := "k0"
+	var collide string
+	for i := 1; ; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shard(k) == c.shard(base) {
+			collide = k
+			break
+		}
+	}
+	c.Put(base, 1)
+	c.Put(collide, 2)
+	if _, ok := c.Get(base); ok {
+		t.Fatalf("LRU entry %q survived past shard capacity", base)
+	}
+	if v, ok := c.Get(collide); !ok || v.(int) != 2 {
+		t.Fatalf("most recent entry %q missing (got %v, %v)", collide, v, ok)
+	}
+	if st := c.Snapshot(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestLRURecencyOnGet(t *testing.T) {
+	c := New(1) // one entry per shard
+	base := "a0"
+	var k1, k2 string
+	for i := 1; k2 == ""; i++ {
+		k := fmt.Sprintf("a%d", i)
+		if c.shard(k) == c.shard(base) {
+			if k1 == "" {
+				k1 = k
+			} else {
+				k2 = k
+			}
+		}
+	}
+	// With per-shard capacity 2 the Get must rescue base from eviction.
+	c2 := New(2 * shardCount)
+	c2.Put(base, "old")
+	c2.Put(k1, "mid")
+	c2.Get(base) // base is now most recent; k1 is LRU
+	c2.Put(k2, "new")
+	if _, ok := c2.Get(base); !ok {
+		t.Fatal("recently-Got entry was evicted")
+	}
+	if _, ok := c2.Get(k1); ok {
+		t.Fatal("least-recently-used entry survived")
+	}
+}
+
+func TestPutRefreshesExistingKey(t *testing.T) {
+	c := New(8)
+	c.Put("k", 1)
+	c.Put("k", 2)
+	if v, _ := c.Get("k"); v.(int) != 2 {
+		t.Fatalf("refreshed value = %v, want 2", v)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d after double Put, want 1", n)
+	}
+}
+
+func TestCacheCountersAndConcurrency(t *testing.T) {
+	c := New(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("key-%d", i%64)
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Snapshot()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("expected both hits and misses, got %+v", st)
+	}
+	if st.Entries != 64 {
+		t.Fatalf("entries = %d, want 64", st.Entries)
+	}
+}
+
+// TestSolveKeyDistinctness: any change to a result-affecting input must
+// change the key — two requests that could legally return different
+// results must never share a cache slot.
+func TestSolveKeyDistinctness(t *testing.T) {
+	base := core.Options{Seed: 7}
+	variants := []struct {
+		name string
+		spec string
+		opts core.Options
+	}{
+		{"base", "costas n=12", base},
+		{"other spec", "costas n=13", base},
+		{"other model", "nqueens n=12", base},
+		{"other seed", "costas n=12", core.Options{Seed: 8}},
+		{"method", "costas n=12", core.Options{Seed: 7, Method: "tabu"}},
+		{"walkers", "costas n=12", core.Options{Seed: 7, Walkers: 4, Virtual: true}},
+		{"virtual flag", "costas n=12", core.Options{Seed: 7, Virtual: true}},
+		{"maxiter", "costas n=12", core.Options{Seed: 7, MaxIterations: 1000}},
+		{"checkevery", "costas n=12", core.Options{Seed: 7, CheckEvery: 32}},
+		{"portfolio", "costas n=12", core.Options{Seed: 7, Method: "portfolio", Portfolio: []string{"adaptive", "tabu"}}},
+	}
+	seen := map[string]string{}
+	for _, v := range variants {
+		key, ok := SolveKey(v.spec, v.opts)
+		if !ok {
+			t.Fatalf("%s: unexpectedly uncacheable", v.name)
+		}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("key collision between %q and %q: %q", prev, v.name, key)
+		}
+		seen[key] = v.name
+	}
+}
+
+// TestSolveKeyRefusesNondeterministicRequests: the cacheability rule —
+// implicit seeds, real-mode multi-walk races and process-local overrides
+// are never cacheable.
+func TestSolveKeyRefusesNondeterministicRequests(t *testing.T) {
+	cases := []struct {
+		name string
+		opts core.Options
+	}{
+		{"implicit seed", core.Options{}},
+		{"real-mode multi-walk race", core.Options{Seed: 7, Walkers: 4}},
+		{"custom adaptive params", core.Options{Seed: 7, Params: &adaptive.Params{}}},
+		{"custom model options", core.Options{Seed: 7, Model: costas.Options{FullTriangle: true}}},
+	}
+	for _, c := range cases {
+		if key, ok := SolveKey("costas n=12", c.opts); ok {
+			t.Fatalf("%s: cacheable with key %q, want refused", c.name, key)
+		}
+	}
+	// The deterministic modes ARE cacheable.
+	for _, o := range []core.Options{
+		{Seed: 7},                             // sequential
+		{Seed: 7, Walkers: 1},                 // explicit single walker
+		{Seed: 7, Walkers: 16, Virtual: true}, // lockstep
+	} {
+		if _, ok := SolveKey("costas n=12", o); !ok {
+			t.Fatalf("deterministic options %+v refused", o)
+		}
+	}
+}
+
+func TestCacheableResult(t *testing.T) {
+	if !CacheableResult(core.Result{Solved: true}) {
+		t.Fatal("solved result must be cacheable")
+	}
+	if !CacheableResult(core.Result{Solved: false}) {
+		t.Fatal("budget-exhausted result must be cacheable")
+	}
+	if CacheableResult(core.Result{Cancelled: true}) {
+		t.Fatal("cancelled result must never be cacheable")
+	}
+}

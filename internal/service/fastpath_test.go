@@ -1,0 +1,324 @@
+package service
+
+// Serving fast-path coverage (DESIGN.md §8): byte-identical cached
+// replays, the never-cache rules (implicit seed, cancelled results),
+// thundering-herd coalescing under -race, admission control's 429 +
+// Retry-After contract, and the fast-path /metrics counters.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+)
+
+// postRaw posts body and returns the raw response bytes plus status and
+// headers — the byte-identity tests must see exactly what went on the
+// wire, not a decode/re-encode.
+func postBytes(t testing.TB, url string, body any) (int, http.Header, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+// fastPathMetrics decodes the /metrics counters the fast path owns.
+type fastPathMetrics struct {
+	SolvesTotal  int64 `json:"solves_total"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int64 `json:"cache_entries"`
+	Coalesced    int64 `json:"coalesced_total"`
+	RateLimited  int64 `json:"rate_limited_total"`
+	CacheEnabled bool  `json:"cache_enabled"`
+	Latency      map[string]struct {
+		Count int64 `json:"count"`
+	} `json:"latency"`
+}
+
+func scrapeMetrics(t testing.TB, url string) fastPathMetrics {
+	t.Helper()
+	var m fastPathMetrics
+	if code := getJSON(t, url+"/metrics", &m); code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	return m
+}
+
+func costasReq(n int, seed uint64, timeoutMS int64) SolveRequest {
+	return SolveRequest{
+		Model:     registry.Spec{Name: "costas", Params: map[string]int{"n": n}},
+		Options:   OptionsJSON{Seed: seed},
+		TimeoutMS: timeoutMS,
+	}
+}
+
+// TestCachedReplayByteIdentical: the second identical explicit-seed
+// solve is served from the cache with a byte-for-byte identical body,
+// and the counters show one solve, one hit.
+func TestCachedReplayByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := costasReq(12, 7, 0)
+
+	code1, _, body1 := postBytes(t, ts.URL+"/v1/solve", req)
+	code2, hdr2, body2 := postBytes(t, ts.URL+"/v1/solve", req)
+	if code1 != http.StatusOK || code2 != http.StatusOK {
+		t.Fatalf("status %d / %d", code1, code2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("cached replay is not byte-identical:\nfresh:  %q\nreplay: %q", body1, body2)
+	}
+	if ct := hdr2.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("replay Content-Type %q", ct)
+	}
+
+	m := scrapeMetrics(t, ts.URL)
+	if m.SolvesTotal != 1 {
+		t.Fatalf("solves_total = %d after an identical repeat, want 1", m.SolvesTotal)
+	}
+	if m.CacheHits != 1 || m.CacheEntries != 1 {
+		t.Fatalf("cache counters hits=%d entries=%d, want 1/1", m.CacheHits, m.CacheEntries)
+	}
+	if !m.CacheEnabled {
+		t.Fatal("cache_enabled = false on a default server")
+	}
+	if m.Latency["solve"].Count != 2 {
+		t.Fatalf("latency.solve.count = %d, want 2", m.Latency["solve"].Count)
+	}
+}
+
+// TestSeedDistinctRequestsSolveSeparately: different seeds are different
+// cache keys — no false sharing between distinct deterministic runs.
+func TestSeedDistinctRequestsSolveSeparately(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, seed := range []uint64{3, 4} {
+		var resp SolveResponse
+		if code := postJSON(t, ts.URL+"/v1/solve", costasReq(12, seed, 0), &resp); code != http.StatusOK || !resp.Solved {
+			t.Fatalf("seed %d: code %d, %+v", seed, code, resp)
+		}
+	}
+	if m := scrapeMetrics(t, ts.URL); m.SolvesTotal != 2 || m.CacheHits != 0 {
+		t.Fatalf("solves=%d hits=%d, want 2 solves and 0 hits for distinct seeds", m.SolvesTotal, m.CacheHits)
+	}
+}
+
+// TestImplicitSeedNeverCached: a request without an explicit seed is not
+// deterministic, so it must bypass the cache entirely — every repeat
+// solves afresh and nothing is stored.
+func TestImplicitSeedNeverCached(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := SolveRequest{Model: registry.Spec{Name: "costas", Params: map[string]int{"n": 10}}}
+	for i := 0; i < 2; i++ {
+		var resp SolveResponse
+		if code := postJSON(t, ts.URL+"/v1/solve", req, &resp); code != http.StatusOK || !resp.Solved {
+			t.Fatalf("request %d: code %d, %+v", i, code, resp)
+		}
+	}
+	m := scrapeMetrics(t, ts.URL)
+	if m.SolvesTotal != 2 {
+		t.Fatalf("solves_total = %d, want 2 (implicit seed must never be served from cache)", m.SolvesTotal)
+	}
+	if m.CacheEntries != 0 || m.CacheHits != 0 || m.CacheMisses != 0 {
+		t.Fatalf("cache touched by implicit-seed requests: %+v", m)
+	}
+}
+
+// TestCancelledResultNeverCached: a deadline-cancelled partial result is
+// not a deterministic answer (a longer budget could solve) — it must not
+// be stored, and a repeat must solve again.
+func TestCancelledResultNeverCached(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := costasReq(24, 1, 100) // far beyond quick solvability: cancels at 100ms
+	for i := 0; i < 2; i++ {
+		var resp SolveResponse
+		if code := postJSON(t, ts.URL+"/v1/solve", req, &resp); code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		} else if resp.Solved || !resp.Cancelled {
+			t.Fatalf("request %d: expected a cancelled partial, got %+v", i, resp)
+		}
+	}
+	m := scrapeMetrics(t, ts.URL)
+	if m.SolvesTotal != 2 {
+		t.Fatalf("solves_total = %d, want 2 (a cancelled result must not replay)", m.SolvesTotal)
+	}
+	if m.CacheEntries != 0 {
+		t.Fatalf("cache_entries = %d, want 0 (cancelled results must never be stored)", m.CacheEntries)
+	}
+}
+
+// TestConcurrentIdenticalRequestsCoalesce: a thundering herd of
+// identical cacheable requests occupies ONE worker — exactly one
+// underlying solve runs, every caller gets byte-identical bytes, and
+// the herd size minus one is reported as coalesced. Runs under the CI
+// -race pass.
+func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	// A solve that cannot finish inside the herd's join window: n=24 runs
+	// until the 1.5s deadline, so every request joins the first one's
+	// flight. The cancelled result also proves coalescing alone (without
+	// the cache) deduplicates: nothing is stored, yet one solve served all.
+	req := costasReq(24, 5, 1500)
+
+	const herd = 8
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		bodies [][]byte
+		codes  []int
+	)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, _, body := postBytes(t, ts.URL+"/v1/solve", req)
+			mu.Lock()
+			bodies = append(bodies, body)
+			codes = append(codes, code)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	for i := range bodies {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("caller %d: status %d body %q", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("coalesced responses diverge:\n%q\n%q", bodies[0], bodies[i])
+		}
+	}
+	m := scrapeMetrics(t, ts.URL)
+	if m.SolvesTotal != 1 {
+		t.Fatalf("solves_total = %d after a herd of %d identical requests, want exactly 1", m.SolvesTotal, herd)
+	}
+	if m.Coalesced != herd-1 {
+		t.Fatalf("coalesced_total = %d, want %d", m.Coalesced, herd-1)
+	}
+}
+
+// TestRateLimit429RetryAfter: admission control refuses a client past
+// its token bucket with 429 + a Retry-After hint, keyed per client — a
+// different client header is a different bucket.
+func TestRateLimit429RetryAfter(t *testing.T) {
+	_, ts := newTestServer(t, Config{RateLimit: 0.5, RateBurst: 1})
+	req := costasReq(12, 7, 0)
+
+	if code, _, _ := postBytes(t, ts.URL+"/v1/solve", req); code != http.StatusOK {
+		t.Fatalf("first request: status %d", code)
+	}
+	code, hdr, body := postBytes(t, ts.URL+"/v1/solve", req)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429", code)
+	}
+	retry := hdr.Get("Retry-After")
+	if retry == "" || retry == "0" {
+		t.Fatalf("429 without a usable Retry-After (got %q)", retry)
+	}
+	if !strings.Contains(string(body), "rate limit") {
+		t.Fatalf("429 body %q does not name the refusal", body)
+	}
+
+	// A different client key owns a fresh bucket.
+	raw, _ := json.Marshal(req)
+	hreq, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/solve", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Client-Key", "other-tenant")
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("distinct client key refused: status %d", resp.StatusCode)
+	}
+
+	if m := scrapeMetrics(t, ts.URL); m.RateLimited < 1 {
+		t.Fatalf("rate_limited_total = %d, want ≥ 1", m.RateLimited)
+	}
+	// Batches share the admission gate.
+	breq := BatchRequest{Jobs: []BatchJobRequest{{Model: registry.Spec{Name: "costas", Params: map[string]int{"n": 10}}}}}
+	if code := postJSON(t, ts.URL+"/v1/batch", breq, nil); code != http.StatusTooManyRequests {
+		t.Fatalf("batch past the bucket: status %d, want 429", code)
+	}
+}
+
+// TestCacheDisabledServesClassicPath: CacheSize < 0 turns the fast path
+// off — repeats solve again, and /metrics says so.
+func TestCacheDisabledServesClassicPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheSize: -1})
+	req := costasReq(12, 7, 0)
+	for i := 0; i < 2; i++ {
+		if code, _, _ := postBytes(t, ts.URL+"/v1/solve", req); code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	m := scrapeMetrics(t, ts.URL)
+	if m.SolvesTotal != 2 {
+		t.Fatalf("solves_total = %d with caching disabled, want 2", m.SolvesTotal)
+	}
+	if m.CacheEnabled {
+		t.Fatal("cache_enabled = true with CacheSize < 0")
+	}
+}
+
+// TestAsyncSolveServedFromCache: an async request whose key is already
+// cached finishes instantly from the replay — no second solve.
+func TestAsyncSolveServedFromCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := costasReq(12, 7, 0)
+	var fresh SolveResponse
+	if code := postJSON(t, ts.URL+"/v1/solve", req, &fresh); code != http.StatusOK || !fresh.Solved {
+		t.Fatalf("warm solve: code %d, %+v", code, fresh)
+	}
+
+	areq := req
+	areq.Async = true
+	var accepted map[string]string
+	if code := postJSON(t, ts.URL+"/v1/solve", areq, &accepted); code != http.StatusAccepted {
+		t.Fatalf("async accept: status %d", code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var st JobStatus
+	for {
+		if code := getJSON(t, ts.URL+accepted["url"], &st); code != http.StatusOK {
+			t.Fatalf("poll: status %d", code)
+		}
+		if st.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("async cached job never finished: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Error != "" || st.Solve == nil || !st.Solve.Solved {
+		t.Fatalf("async cached job: %+v", st)
+	}
+	if st.Solve.Iterations != fresh.Iterations || st.Solve.Winner != fresh.Winner {
+		t.Fatalf("async replay diverged from the fresh solve: %+v vs %+v", st.Solve, fresh)
+	}
+	if m := scrapeMetrics(t, ts.URL); m.SolvesTotal != 1 {
+		t.Fatalf("solves_total = %d, want 1 (async repeat must replay)", m.SolvesTotal)
+	}
+}

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBoundsMs are the upper bounds (milliseconds) of the /metrics
+// latency buckets — a decade-spanning log-ish grid from sub-millisecond
+// cache hits to multi-second solves. The final implicit bucket is +Inf.
+var latencyBoundsMs = []float64{
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+}
+
+// latencyHist is a lock-free cumulative-style histogram of one
+// endpoint's request latency: counts[i] holds observations ≤
+// latencyBoundsMs[i] (last slot = overflow), plus total count and sum
+// for mean latency. Observation is two atomic adds on the hot path.
+type latencyHist struct {
+	counts []atomic.Int64 // len(latencyBoundsMs)+1
+	total  atomic.Int64
+	sumNs  atomic.Int64
+}
+
+func newLatencyHist() *latencyHist {
+	return &latencyHist{counts: make([]atomic.Int64, len(latencyBoundsMs)+1)}
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBoundsMs) && ms > latencyBoundsMs[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// snapshot renders the histogram for /metrics.
+func (h *latencyHist) snapshot() map[string]any {
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return map[string]any{
+		"bounds_ms": latencyBoundsMs,
+		"counts":    counts,
+		"count":     h.total.Load(),
+		"sum_ms":    float64(h.sumNs.Load()) / float64(time.Millisecond),
+	}
+}
+
+// instrument wraps a handler with per-endpoint latency recording. Called
+// only from New (single-goroutine), so the map write needs no lock; the
+// histogram itself is atomic.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := newLatencyHist()
+	s.latency[endpoint] = hist
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.observe(time.Since(start))
+	}
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// rateLimiter is the per-client admission controller: one token bucket
+// per client key, refilled continuously at rate tokens/second up to
+// burst. A request costs one token; a client out of tokens is refused
+// with 429 and told when to come back (Retry-After). Buckets are created
+// lazily and pruned once full again, so the map tracks active clients,
+// not every address ever seen.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	now   func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the client map; past it, full (idle) buckets are
+// swept on insert. A deliberate flood of distinct client keys degrades
+// to per-key allocation, not unbounded growth.
+const maxBuckets = 8192
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	b := float64(burst)
+	if b <= 0 {
+		b = math.Max(1, 2*rate)
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   b,
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow spends one token of key's bucket. When the bucket is empty it
+// returns false and the wait until one token will have refilled.
+func (l *rateLimiter) allow(key string) (bool, time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.pruneLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// pruneLocked drops buckets that have refilled to full — clients idle
+// long enough that forgetting them loses nothing (a fresh bucket starts
+// full anyway).
+func (l *rateLimiter) pruneLocked(now time.Time) {
+	for k, b := range l.buckets {
+		if math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate) >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// clientKey identifies the requester for rate limiting: the configured
+// client header when present (how a fleet's trusted front ends tag
+// traffic per end user), else the remote address without its ephemeral
+// port (so one user's connections share one bucket).
+func clientKey(r *http.Request, header string) string {
+	if v := r.Header.Get(header); v != "" {
+		return v
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}

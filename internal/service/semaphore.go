@@ -1,0 +1,102 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// prioSem is the server's worker semaphore with two admission classes:
+// interactive waiters (sync solves — a human or a coordinator blocked on
+// the answer) are granted freed slots strictly before batch-class
+// waiters (async jobs and batches), so a backlog of batch work cannot
+// starve interactive traffic. Within a class, grants are FIFO.
+//
+// Invariant: free > 0 implies both queues are empty — release hands a
+// freed slot directly to the longest-waiting eligible waiter and only
+// increments free when nobody is queued, and acquirers only enqueue when
+// free == 0. The fast path is therefore one mutex hop.
+type prioSem struct {
+	mu          sync.Mutex
+	free        int
+	interactive []*semWaiter
+	batch       []*semWaiter
+}
+
+type semWaiter struct {
+	ready   chan struct{}
+	granted bool // set under prioSem.mu before ready is closed
+}
+
+func newPrioSem(slots int) *prioSem { return &prioSem{free: slots} }
+
+// acquire takes one slot, blocking until one frees or ctx ends.
+func (s *prioSem) acquire(ctx context.Context, interactive bool) error {
+	s.mu.Lock()
+	if s.free > 0 {
+		s.free--
+		s.mu.Unlock()
+		return nil
+	}
+	w := &semWaiter{ready: make(chan struct{})}
+	q := &s.batch
+	if interactive {
+		q = &s.interactive
+	}
+	*q = append(*q, w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		if w.granted {
+			// The grant raced our cancellation: we own a slot we no
+			// longer want — pass it to the next waiter (or free it).
+			s.grantLocked()
+			s.mu.Unlock()
+			return ctx.Err()
+		}
+		s.removeLocked(q, w)
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release returns one slot, waking the longest-waiting interactive
+// waiter first, then the longest-waiting batch waiter.
+func (s *prioSem) release() {
+	s.mu.Lock()
+	s.grantLocked()
+	s.mu.Unlock()
+}
+
+func (s *prioSem) grantLocked() {
+	for _, q := range [2]*[]*semWaiter{&s.interactive, &s.batch} {
+		if len(*q) > 0 {
+			w := (*q)[0]
+			*q = (*q)[1:]
+			w.granted = true
+			close(w.ready)
+			return
+		}
+	}
+	s.free++
+}
+
+func (s *prioSem) removeLocked(q *[]*semWaiter, w *semWaiter) {
+	for i, x := range *q {
+		if x == w {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return
+		}
+	}
+}
+
+// depth reports how many acquirers are currently blocked (the /metrics
+// queue_depth gauge).
+func (s *prioSem) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.interactive) + len(s.batch)
+}

@@ -1,0 +1,121 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// waitDepth polls until the semaphore has n blocked waiters (the only
+// observable "enqueued" signal) or fails the test.
+func waitDepth(t *testing.T, s *prioSem, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.depth() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("depth never reached %d (now %d)", n, s.depth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPrioSemInteractiveBeatsBatch: with the slot taken and a batch
+// waiter already queued FIRST, a later interactive waiter still gets the
+// freed slot before it — sync solves are never starved by batch backlog.
+func TestPrioSemInteractiveBeatsBatch(t *testing.T) {
+	s := newPrioSem(1)
+	if err := s.acquire(context.Background(), false); err != nil {
+		t.Fatal(err)
+	}
+
+	batchGot := make(chan struct{})
+	go func() {
+		if err := s.acquire(context.Background(), false); err == nil {
+			close(batchGot)
+		}
+	}()
+	waitDepth(t, s, 1) // batch waiter is queued before interactive arrives
+
+	interGot := make(chan struct{})
+	go func() {
+		if err := s.acquire(context.Background(), true); err == nil {
+			close(interGot)
+		}
+	}()
+	waitDepth(t, s, 2)
+
+	s.release()
+	select {
+	case <-interGot:
+	case <-batchGot:
+		t.Fatal("batch waiter granted before the interactive waiter")
+	case <-time.After(5 * time.Second):
+		t.Fatal("nobody granted after release")
+	}
+
+	s.release() // the interactive holder's slot goes to the batch waiter
+	select {
+	case <-batchGot:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch waiter never granted")
+	}
+	s.release()
+	// All slots returned: an uncontended acquire is immediate again.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.acquire(ctx, false); err != nil {
+		t.Fatalf("acquire after full release: %v", err)
+	}
+}
+
+// TestPrioSemCancelledWaiterLeavesQueue: a waiter whose ctx ends is
+// removed, and the slot later frees normally for others.
+func TestPrioSemCancelledWaiterLeavesQueue(t *testing.T) {
+	s := newPrioSem(1)
+	if err := s.acquire(context.Background(), true); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.acquire(ctx, true) }()
+	waitDepth(t, s, 1)
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled acquire returned nil")
+	}
+	waitDepth(t, s, 0)
+
+	s.release()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := s.acquire(ctx2, false); err != nil {
+		t.Fatalf("slot lost after a cancelled waiter: %v", err)
+	}
+}
+
+// TestPrioSemFIFOWithinClass: same-class waiters are granted in arrival
+// order.
+func TestPrioSemFIFOWithinClass(t *testing.T) {
+	s := newPrioSem(1)
+	if err := s.acquire(context.Background(), true); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		go func() {
+			if s.acquire(context.Background(), true) == nil {
+				order <- i
+			}
+		}()
+		waitDepth(t, s, i+1)
+	}
+	s.release()
+	if first := <-order; first != 0 {
+		t.Fatalf("second-arrived waiter granted first (got %d)", first)
+	}
+	s.release()
+	if second := <-order; second != 1 {
+		t.Fatalf("grant order broken (got %d second)", second)
+	}
+}

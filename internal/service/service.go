@@ -17,14 +17,29 @@
 // Config.Workers solves run at once across all requests — a sync or
 // async solve occupies one slot, a batch occupies as many slots as its
 // inner concurrency, so concurrent batches cannot multiply past the
-// bound. The rest queue on their request context, so a client that
-// gives up stops waiting server-side too. Every solve runs under the
-// request context (sync) or the server's base context (async),
-// optionally tightened by the request's timeout_ms — cancellation
-// propagates into the scheduler in every run mode, so a deadline stops
-// walkers mid-solve and the partial result reports cancelled=true.
-// Shutdown cancels the base context — stopping sync and async solves
-// alike at their next probe quantum — and drains async jobs.
+// bound. The semaphore has two admission classes: freed slots go to
+// waiting sync solves (interactive traffic) before async jobs and
+// batches, so batch backlogs cannot starve interactive latency. The
+// rest queue on their request context, so a client that gives up stops
+// waiting server-side too. Every solve runs under the request context
+// (sync) or the server's base context (async), optionally tightened by
+// the request's timeout_ms — cancellation propagates into the scheduler
+// in every run mode, so a deadline stops walkers mid-solve and the
+// partial result reports cancelled=true. Shutdown cancels the base
+// context — stopping sync and async solves alike at their next probe
+// quantum — and drains async jobs.
+//
+// Serving fast path (DESIGN.md §8): ahead of the semaphore sits a
+// deterministic response cache (internal/servecache) keyed by canonical
+// spec + explicit seed + result-affecting options — a hit replays the
+// recorded response bytes without costing a solver slot — and identical
+// concurrent cacheable requests are coalesced into one in-flight solve,
+// so a thundering herd on one hard instance occupies one worker, not
+// Config.Workers. Admission control (Config.RateLimit) refuses
+// per-client request floods with 429 + Retry-After before any of that
+// work happens. /metrics exposes the whole fast path: cache hit/miss/
+// eviction counters, coalesced and rate-limited totals, and
+// per-endpoint latency buckets.
 package service
 
 import (
@@ -32,14 +47,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/registry"
+	"repro/internal/servecache"
 )
 
 // Config tunes the server. The zero value serves with sensible defaults.
@@ -68,6 +86,25 @@ type Config struct {
 	// Requests are still validated, admitted and metered here; only the
 	// execution moves.
 	Backend core.Backend
+	// CacheSize bounds the deterministic response cache (entries).
+	// Explicit-seed deterministic solves (see servecache.SolveKey for
+	// the exact cacheability rule) are cached after completion and
+	// replayed byte-identically without occupying a worker slot. 0 means
+	// servecache.DefaultCapacity; negative disables caching and
+	// coalescing.
+	CacheSize int
+	// RateLimit enables per-client admission control on POST /v1/solve
+	// and POST /v1/batch: each client is granted a token bucket of
+	// RateLimit requests per second (depth RateBurst); beyond it,
+	// requests are refused with 429 and a Retry-After header. Clients
+	// are keyed by the ClientKeyHeader header when present, else by
+	// remote address. 0 disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket depth; 0 means max(1, 2×RateLimit).
+	RateBurst int
+	// ClientKeyHeader names the request header identifying a client for
+	// rate limiting; "" means "X-Client-Key".
+	ClientKeyHeader string
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +122,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Registry == nil {
 		c.Registry = registry.Default
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = servecache.DefaultCapacity
+	}
+	if c.ClientKeyHeader == "" {
+		c.ClientKeyHeader = "X-Client-Key"
 	}
 	return c
 }
@@ -223,14 +266,20 @@ type job struct {
 type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
-	slots   chan struct{} // worker semaphore
+	sem     *prioSem // worker semaphore (interactive-over-batch priority)
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup // async jobs in flight
 
 	acqMu sync.Mutex // serializes multi-slot (batch) acquisition
 
-	queued atomic.Int64 // requests waiting for a worker slot (queue depth)
+	cache   *servecache.Cache // deterministic response cache; nil = disabled
+	flights servecache.Group  // in-flight coalescing of identical cacheable solves
+	limiter *rateLimiter      // per-client admission control; nil = disabled
+
+	coalesced   atomic.Int64 // requests served by joining another request's flight
+	rateLimited atomic.Int64 // requests refused with 429
+	latency     map[string]*latencyHist
 
 	mu         sync.Mutex
 	jobs       map[string]*job
@@ -250,17 +299,24 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
-		slots:    make(chan struct{}, cfg.Workers),
+		sem:      newPrioSem(cfg.Workers),
 		baseCtx:  ctx,
 		cancel:   cancel,
 		jobs:     map[string]*job{},
 		started:  time.Now(),
 		perModel: map[string]int64{},
+		latency:  map[string]*latencyHist{},
 	}
-	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
-	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	if cfg.CacheSize > 0 {
+		s.cache = servecache.New(cfg.CacheSize)
+	}
+	if cfg.RateLimit > 0 {
+		s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst)
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.instrument("solve", s.handleSolve))
+	s.mux.HandleFunc("POST /v1/batch", s.instrument("batch", s.handleBatch))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
+	s.mux.HandleFunc("GET /v1/models", s.instrument("models", s.handleModels))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -368,37 +424,28 @@ func (s *Server) runCtx(parent context.Context, timeoutMS int64) (context.Contex
 	return ctx, func() { stop(); cancel() }
 }
 
-// acquire takes a worker slot, or fails when ctx ends first. Time spent
-// blocked on a full semaphore is surfaced as /metrics queue depth.
-func (s *Server) acquire(ctx context.Context) error {
-	select {
-	case s.slots <- struct{}{}:
-		return nil
-	default:
-	}
-	s.queued.Add(1)
-	defer s.queued.Add(-1)
-	select {
-	case s.slots <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+// acquire takes a worker slot, or fails when ctx ends first. Interactive
+// acquirers (sync solves) are granted freed slots before batch-class
+// ones (async jobs, batches); time spent blocked is surfaced as /metrics
+// queue depth.
+func (s *Server) acquire(ctx context.Context, interactive bool) error {
+	return s.sem.acquire(ctx, interactive)
 }
 
-func (s *Server) release() { <-s.slots }
+func (s *Server) release() { s.sem.release() }
 
 // acquireN takes n worker slots for a batch (n = its inner concurrency),
 // so concurrent batches cannot multiply past the server-wide worker
-// bound. Multi-slot acquisition is serialized by acqMu: a batch holding
-// some slots while waiting for more would otherwise deadlock against
-// another batch doing the same; single-slot acquirers (sync solves)
-// never hold-and-wait, so they bypass the mutex safely.
+// bound — always at batch priority. Multi-slot acquisition is serialized
+// by acqMu: a batch holding some slots while waiting for more would
+// otherwise deadlock against another batch doing the same; single-slot
+// acquirers (sync solves) never hold-and-wait, so they bypass the mutex
+// safely.
 func (s *Server) acquireN(ctx context.Context, n int) error {
 	s.acqMu.Lock()
 	defer s.acqMu.Unlock()
 	for i := 0; i < n; i++ {
-		if err := s.acquire(ctx); err != nil {
+		if err := s.acquire(ctx, false); err != nil {
 			for ; i > 0; i-- {
 				s.release()
 			}
@@ -412,6 +459,28 @@ func (s *Server) releaseN(n int) {
 	for i := 0; i < n; i++ {
 		s.release()
 	}
+}
+
+// admit applies per-client admission control (solve/batch endpoints). It
+// reports whether the request may proceed; a refused request has already
+// been answered with 429 + Retry-After.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	if s.limiter == nil {
+		return true
+	}
+	ok, retry := s.limiter.allow(clientKey(r, s.cfg.ClientKeyHeader))
+	if ok {
+		return true
+	}
+	s.rateLimited.Add(1)
+	secs := int(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests,
+		map[string]string{"error": fmt.Sprintf("rate limit exceeded; retry after %ds", secs)})
+	return false
 }
 
 func (s *Server) trackInflight(delta int) {
@@ -444,6 +513,9 @@ func (s *Server) recordSolve(model string, iterations int64) {
 // --- handlers ---
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
 	var req SolveRequest
 	if err := decodeStrict(r, &req); err != nil {
 		writeErr(w, err)
@@ -453,6 +525,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	// The fast-path cache key: canonical spec (parameters resolved and
+	// alphabetized) + every result-affecting option. Uncacheable
+	// requests (implicit seed, real-mode multi-walk race, …) keep the
+	// classic path untouched.
+	key, cacheable := "", false
+	if s.cache != nil {
+		key, cacheable = servecache.SolveKey(inst.Spec.String(), opts)
 	}
 
 	if req.Async {
@@ -464,12 +544,26 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			if cacheable {
+				if body, ok := s.cacheGet(key); ok {
+					// Replay the recorded response without occupying a
+					// worker slot; the job is done the moment it is polled.
+					var sr SolveResponse
+					if json.Unmarshal(body, &sr) == nil {
+						s.finishJob(id, JobStatus{Solve: &sr}, nil)
+						return
+					}
+				}
+			}
 			s.runAsync(id, 1, func(ctx context.Context) (JobStatus, error) {
 				res, err := s.solveInstance(ctx, inst, opts)
 				if err != nil {
 					return JobStatus{}, err
 				}
 				sr := solveResponse(inst.Spec.String(), res)
+				if cacheable && servecache.CacheableResult(res) {
+					s.cache.Put(key, encodeBody(sr))
+				}
 				return JobStatus{Solve: &sr}, nil
 			}, req.TimeoutMS)
 		}()
@@ -477,9 +571,42 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if cacheable {
+		// Cache hit: replay the recorded bytes — zero worker slots, no
+		// semaphore, byte-identical to the solve that populated it.
+		if body, ok := s.cacheGet(key); ok {
+			writeRawJSON(w, body)
+			return
+		}
+		// Miss: coalesce identical concurrent requests into one flight —
+		// a thundering herd on one hard instance occupies one worker.
+		// The flight key extends the cache key with the request timeout:
+		// requests with different budgets may legitimately end
+		// differently, so only true duplicates share a solve.
+		flightKey := fmt.Sprintf("%s|t=%d", key, req.TimeoutMS)
+		v, err, coalesced := s.flights.Do(r.Context(), flightKey, func(fctx context.Context) (any, error) {
+			return s.solveToBytes(fctx, inst, opts, key, req.TimeoutMS)
+		})
+		if coalesced {
+			s.coalesced.Add(1)
+		}
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// Our own ctx fired while waiting on the flight — the
+				// client is gone; the flight lives on for its other
+				// waiters (or was cancelled with us as the last one).
+				err = &httpError{status: http.StatusServiceUnavailable, msg: "request abandoned: " + err.Error()}
+			}
+			writeErr(w, err)
+			return
+		}
+		writeRawJSON(w, v.([]byte))
+		return
+	}
+
 	ctx, cancel := s.runCtx(r.Context(), req.TimeoutMS)
 	defer cancel()
-	if err := s.acquire(ctx); err != nil {
+	if err := s.acquire(ctx, true); err != nil {
 		writeErr(w, &httpError{status: http.StatusServiceUnavailable, msg: "no worker available: " + err.Error()})
 		return
 	}
@@ -495,7 +622,65 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, solveResponse(inst.Spec.String(), res))
 }
 
+// solveToBytes is the body of one coalesced flight: take a worker slot
+// (interactive class — the flight IS a sync request), solve, encode the
+// wire response once, and store it in the cache when the result ran to
+// completion. Every waiter of the flight receives the same bytes, so
+// coalesced responses are byte-identical by construction.
+func (s *Server) solveToBytes(fctx context.Context, inst registry.Instance, opts core.Options, key string, timeoutMS int64) ([]byte, error) {
+	ctx, cancel := s.runCtx(fctx, timeoutMS)
+	defer cancel()
+	if err := s.acquire(ctx, true); err != nil {
+		return nil, &httpError{status: http.StatusServiceUnavailable, msg: "no worker available: " + err.Error()}
+	}
+	defer s.release()
+	s.trackInflight(1)
+	defer s.trackInflight(-1)
+
+	res, err := s.solveInstance(ctx, inst, opts)
+	if err != nil {
+		return nil, err
+	}
+	body := encodeBody(solveResponse(inst.Spec.String(), res))
+	if servecache.CacheableResult(res) {
+		s.cache.Put(key, body)
+	}
+	return body, nil
+}
+
+// cacheGet fetches a recorded response body.
+func (s *Server) cacheGet(key string) ([]byte, bool) {
+	v, ok := s.cache.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return v.([]byte), true
+}
+
+// encodeBody marshals a response exactly as writeJSON's encoder would
+// (json.Encoder.Encode is Marshal plus a trailing newline), so cached
+// replays are byte-identical to fresh writes.
+func encodeBody(v any) []byte {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		// SolveResponse contains no unmarshalable types; reaching this
+		// is a programming error, surfaced as an empty body by tests.
+		return nil
+	}
+	return append(raw, '\n')
+}
+
+// writeRawJSON replays pre-encoded response bytes.
+func writeRawJSON(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r) {
+		return
+	}
 	var req BatchRequest
 	if err := decodeStrict(r, &req); err != nil {
 		writeErr(w, err)
@@ -766,16 +951,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	solves := s.solves
 	iterations := s.iterations
 	s.mu.Unlock()
+	var cs servecache.Stats
+	if s.cache != nil {
+		cs = s.cache.Snapshot()
+	}
+	latency := make(map[string]any, len(s.latency))
+	for endpoint, h := range s.latency {
+		latency[endpoint] = h.snapshot()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"inflight_solves":  inflight,
-		"queue_depth":      s.queued.Load(),
-		"jobs_store_size":  stored,
-		"per_model_solves": perModel,
-		"solves_total":     solves,
-		"total_iterations": iterations,
-		"workers":          s.cfg.Workers,
-		"coordinator":      s.cfg.Backend != nil,
-		"uptime_sec":       time.Since(s.started).Seconds(),
+		"inflight_solves":    inflight,
+		"queue_depth":        s.sem.depth(),
+		"jobs_store_size":    stored,
+		"per_model_solves":   perModel,
+		"solves_total":       solves,
+		"total_iterations":   iterations,
+		"workers":            s.cfg.Workers,
+		"coordinator":        s.cfg.Backend != nil,
+		"cache_enabled":      s.cache != nil,
+		"cache_hits":         cs.Hits,
+		"cache_misses":       cs.Misses,
+		"cache_evictions":    cs.Evictions,
+		"cache_entries":      cs.Entries,
+		"coalesced_total":    s.coalesced.Load(),
+		"rate_limited_total": s.rateLimited.Load(),
+		"latency":            latency,
+		"uptime_sec":         time.Since(s.started).Seconds(),
 	})
 }
 
