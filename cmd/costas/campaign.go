@@ -1,0 +1,257 @@
+package main
+
+// Campaign front end (-campaign): durable, checkpointable searches that
+// survive process restarts — the paper's 48-hour cluster attacks on hard
+// Costas orders as a CLI mode. With -addr the campaign is created on a
+// remote coordinator (solverd -data) and this process only polls status;
+// without it a complete in-process campaign system (store + coordinator
+// + worker) runs under -data, and re-running the same command resumes
+// the existing campaign from its last checkpoints.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+type campaignParams struct {
+	spec     string
+	hours    float64
+	shards   int
+	walkers  int
+	snapshot int64
+	seed     uint64
+	addr     string
+	dataDir  string
+	quiet    bool
+}
+
+func runCampaign(p campaignParams) {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if p.addr != "" {
+		runRemoteCampaign(ctx, p)
+		return
+	}
+	runLocalCampaign(ctx, p)
+}
+
+// finish prints the terminal state and exits.
+func finish(st campaign.Status, quiet bool) {
+	switch st.State {
+	case campaign.StateSolved:
+		sol := st.Solution
+		if strings.HasPrefix(strings.TrimSpace(st.Spec.RunSpec), "costas") {
+			emit(sol.Config, false, false, quiet)
+		} else {
+			fmt.Println(sol.Config)
+		}
+		if !quiet {
+			fmt.Printf("campaign %s solved: shard=%d walker=%d epoch=%d shard_iterations=%d total_iterations=%d\n",
+				st.Spec.ID, sol.Shard, sol.Walker, sol.Epoch, sol.Iterations, st.Iterations)
+		}
+		exit(0)
+	case campaign.StateCancelled:
+		fmt.Fprintf(os.Stderr, "campaign %s cancelled (%s) after %d iterations; best cost %d\n",
+			st.Spec.ID, st.Reason, st.Iterations, st.BestCost)
+		exit(1)
+	default:
+		fmt.Fprintf(os.Stderr, "campaign %s in unexpected state %q\n", st.Spec.ID, st.State)
+		exit(1)
+	}
+}
+
+func progressLine(st campaign.Status) string {
+	return fmt.Sprintf("campaign %s: %s iterations=%d best_cost=%d checkpoints=%d workers=%d",
+		st.Spec.ID, st.State, st.Iterations, st.BestCost, st.Checkpoints, st.Workers)
+}
+
+// --- in-process mode ---
+
+func runLocalCampaign(ctx context.Context, p campaignParams) {
+	store, err := campaign.Open(p.dataDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(2)
+	}
+	defer store.Close()
+	coord, err := campaign.NewCoordinator(campaign.CoordinatorConfig{Store: store})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(2)
+	}
+
+	// Resume over create: a running campaign on the same run spec in this
+	// data dir IS this search — picking it up from its checkpoints is the
+	// whole point of the durable layer.
+	var spec campaign.Spec
+	resumed := false
+	for _, st := range coord.List() {
+		if st.State == campaign.StateRunning && st.Spec.RunSpec == p.spec {
+			spec = st.Spec
+			resumed = true
+			break
+		}
+	}
+	if !resumed {
+		spec = campaign.Spec{
+			RunSpec:       p.spec,
+			Shards:        p.shards,
+			Walkers:       p.walkers,
+			SnapshotIters: p.snapshot,
+			MasterSeed:    p.seed,
+		}
+		if p.hours > 0 {
+			spec.Deadline = time.Now().Add(time.Duration(p.hours * float64(time.Hour))).UTC()
+		}
+		spec, err = coord.Create(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(2)
+		}
+	}
+	if !p.quiet {
+		verb := "created"
+		if resumed {
+			verb = "resumed"
+		}
+		fmt.Printf("campaign %s %s: %s shards=%d walkers=%d snapshot=%d data=%s\n",
+			spec.ID, verb, spec.RunSpec, spec.Shards, spec.Walkers, spec.SnapshotIters, p.dataDir)
+	}
+
+	worker, err := campaign.NewWorker(campaign.WorkerConfig{
+		Control:   coord,
+		Capacity:  spec.Shards,
+		Heartbeat: 500 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(2)
+	}
+	wctx, stopWorker := context.WithCancel(context.Background())
+	workerDone := make(chan struct{})
+	go func() { defer close(workerDone); _ = worker.Run(wctx) }()
+
+	ticker := time.NewTicker(2 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			// Ctrl-C: stop cleanly; the campaign stays running in the log
+			// and the next invocation resumes it.
+			stopWorker()
+			<-workerDone
+			if !p.quiet {
+				fmt.Printf("campaign %s interrupted — state saved under %s; re-run to resume\n", spec.ID, p.dataDir)
+			}
+			exit(1)
+		case <-ticker.C:
+			st, ok := coord.Status(spec.ID)
+			if !ok {
+				continue
+			}
+			if st.State != campaign.StateRunning {
+				stopWorker()
+				<-workerDone
+				finish(st, p.quiet)
+			}
+			if !p.quiet {
+				fmt.Println(progressLine(st))
+			}
+		}
+	}
+}
+
+// --- remote mode ---
+
+func runRemoteCampaign(ctx context.Context, p campaignParams) {
+	base := p.addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	body, _ := json.Marshal(map[string]any{
+		"spec":           p.spec,
+		"shards":         p.shards,
+		"walkers":        p.walkers,
+		"snapshot_iters": p.snapshot,
+		"seed":           p.seed,
+		"hours":          p.hours,
+	})
+	var spec campaign.Spec
+	if err := postJSON(ctx, base+"/v1/campaigns", body, &spec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(2)
+	}
+	if !p.quiet {
+		fmt.Printf("campaign %s created on %s: %s shards=%d walkers=%d snapshot=%d\n",
+			spec.ID, p.addr, spec.RunSpec, spec.Shards, spec.Walkers, spec.SnapshotIters)
+	}
+
+	ticker := time.NewTicker(2 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Printf("campaign %s keeps running on %s — poll GET /v1/campaigns/%s\n", spec.ID, p.addr, spec.ID)
+			exit(1)
+		case <-ticker.C:
+			var st campaign.Status
+			if err := getJSON(ctx, base+"/v1/campaigns/"+spec.ID, &st); err != nil {
+				// Transient coordinator outage: the campaign survives it;
+				// so does the poll loop.
+				if !p.quiet {
+					fmt.Fprintf(os.Stderr, "status poll: %v\n", err)
+				}
+				continue
+			}
+			if st.State != campaign.StateRunning {
+				finish(st, p.quiet)
+			}
+			if !p.quiet {
+				fmt.Println(progressLine(st))
+			}
+		}
+	}
+}
+
+func postJSON(ctx context.Context, url string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doJSON(req, out)
+}
+
+func getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return doJSON(req, out)
+}
+
+func doJSON(req *http.Request, out any) error {
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return fmt.Errorf("%s: HTTP %d: %s", req.URL.Path, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -19,6 +19,9 @@
 //	costas -models                        # list the model catalogue
 //	costas -n 18 -addr localhost:8080     # submit to a solverd node or cluster
 //	costas -batch 14,15 -addr host:8080   # remote batch (sharded by a coordinator)
+//	costas -campaign "costas n=24" -hours 48 -addr host:8080   # durable fleet search
+//	costas -campaign "costas n=24" -hours 48 -data ./camp      # same, in-process
+//	                                      # (re-running resumes from the last checkpoint)
 //	costas -n 20 -cpuprofile cpu.pb.gz    # profile the solve (go tool pprof)
 //	costas -n 20 -memprofile mem.pb.gz    # heap profile written on exit
 //
@@ -68,6 +71,11 @@ func main() {
 		models    = flag.Bool("models", false, "list the registered models and exit")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		campSpec  = flag.String("campaign", "", `run a durable checkpointed campaign on this run spec, e.g. "costas n=24" (pairs with -hours, -shards, -snapshot; remote via -addr, else in-process under -data)`)
+		hours     = flag.Float64("hours", 0, "campaign wall-clock budget in hours (0 = until solved or cancelled)")
+		shards    = flag.Int("shards", 0, "campaign shards — independently assignable walk groups (0 = default)")
+		snapshot  = flag.Int64("snapshot", 0, "campaign checkpoint cadence in per-walker iterations (0 = default)")
+		dataDir   = flag.String("data", "./campaigns", "campaign data directory for in-process campaigns (ignored with -addr)")
 	)
 	flag.Parse()
 	startProfiles(*cpuprof, *memprof)
@@ -109,6 +117,25 @@ func main() {
 			exit(2)
 		}
 		*method = "portfolio" // -portfolio alone implies portfolio mode
+	}
+
+	if *campSpec != "" {
+		if *batch != "" || *model != "" || *construct || *method == "cp" {
+			fmt.Fprintln(os.Stderr, "-campaign is a standalone mode; -batch, -model, -construct and -method cp do not apply")
+			exit(2)
+		}
+		runCampaign(campaignParams{
+			spec:     *campSpec,
+			hours:    *hours,
+			shards:   *shards,
+			walkers:  *walkers,
+			snapshot: *snapshot,
+			seed:     *seed,
+			addr:     *addr,
+			dataDir:  *dataDir,
+			quiet:    *quiet,
+		})
+		return
 	}
 
 	// -addr swaps the execution backend: every solve (single, -model,

@@ -29,6 +29,19 @@
 // refuse floods with 429 + Retry-After. /metrics exposes the cache,
 // coalescing and 429 counters plus per-endpoint latency histograms.
 //
+// Campaign mode (-data, -join) — durable long-running searches that
+// survive restarts (internal/campaign):
+//
+//	solverd -addr :8080 -data /var/lib/solverd        # campaign coordinator (+ local worker)
+//	solverd -addr :8081 -join http://host:8080        # extra worker, joins dynamically
+//
+// A -data node persists campaign state (append-only checkpoint logs
+// under the directory) and exposes /v1/campaigns; restarting it resumes
+// every running campaign from its last checkpoints. A -join node runs
+// no coordinator: it registers with one, heartbeats, and walks whatever
+// shards it is leased. -campaign-capacity bounds concurrent shards per
+// worker.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, running
 // solves are cancelled at their next probe quantum, async jobs drain.
 //
@@ -53,6 +66,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/campaign"
 	"repro/internal/registry"
 	"repro/internal/service"
 )
@@ -70,8 +84,14 @@ func main() {
 		rate       = flag.Float64("rate", 0, "per-client rate limit on solve/batch in requests/second (0 = unlimited); over the limit replies 429 + Retry-After")
 		burst      = flag.Int("burst", 0, "rate-limit token-bucket depth (0 = 2×rate)")
 		clientHdr  = flag.String("client-header", "", `request header naming the client for rate limiting (default "X-Client-Key"; clients without it are keyed by remote address)`)
+		dataDir    = flag.String("data", "", "campaign data directory: enables the durable campaign coordinator (/v1/campaigns) backed by append-only logs under this directory, plus an in-process campaign worker")
+		joinURL    = flag.String("join", "", "coordinator base URL (e.g. http://host:8080): run as a dynamic campaign worker registered there")
+		campCap    = flag.Int("campaign-capacity", 1, "concurrent campaign shards this node walks")
 	)
 	flag.Parse()
+	if *dataDir != "" && *joinURL != "" {
+		log.Fatalf("solverd: -data and -join are mutually exclusive (a node is a campaign coordinator or a joining worker, not both)")
+	}
 
 	// -workers doubles as the coordinator switch: a plain integer sizes
 	// the local worker pool, anything else is the node list to front.
@@ -132,6 +152,46 @@ func main() {
 	if pool != nil {
 		cfg.Backend = pool
 	}
+
+	// Campaign wiring. A -data node owns the durable store and coordinator
+	// and also walks shards itself (in-process worker, no HTTP hop); a
+	// -join node only walks, against a remote coordinator.
+	var (
+		campStore  *campaign.Store
+		campWorker *campaign.Worker
+	)
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	if *dataDir != "" {
+		store, err := campaign.Open(*dataDir)
+		if err != nil {
+			log.Fatalf("solverd: %v", err)
+		}
+		campStore = store
+		coord, err := campaign.NewCoordinator(campaign.CoordinatorConfig{Store: store})
+		if err != nil {
+			log.Fatalf("solverd: %v", err)
+		}
+		cfg.Campaigns = coord
+		campWorker, err = campaign.NewWorker(campaign.WorkerConfig{Control: coord, Capacity: *campCap})
+		if err != nil {
+			log.Fatalf("solverd: %v", err)
+		}
+		log.Printf("solverd: campaign coordinator on %s (data %s, worker %s ×%d)", *addr, *dataDir, campWorker.ID(), *campCap)
+	}
+	if *joinURL != "" {
+		ctl := campaign.NewHTTPControl(*joinURL, nil)
+		var err error
+		campWorker, err = campaign.NewWorker(campaign.WorkerConfig{Control: ctl, Capacity: *campCap})
+		if err != nil {
+			log.Fatalf("solverd: %v", err)
+		}
+		log.Printf("solverd: campaign worker %s ×%d joining %s", campWorker.ID(), *campCap, *joinURL)
+	}
+	if campWorker != nil {
+		go func() { _ = campWorker.Run(workerCtx) }()
+	}
+
 	srv := service.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -159,6 +219,13 @@ func main() {
 	// deadline-less sync solve pinning the drain for its whole budget.
 	svcErr := make(chan error, 1)
 	go func() { svcErr <- srv.Shutdown(ctx) }()
+	// Stop campaign walking before the HTTP drain: shard tasks discard
+	// their partial epoch (at most one snapshot interval, by design) and
+	// the durable store closes cleanly behind them.
+	stopWorker()
+	if campStore != nil {
+		defer campStore.Close()
+	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("solverd: http shutdown: %v", err)
 	}

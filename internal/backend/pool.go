@@ -78,6 +78,13 @@ type PoolConfig struct {
 	// caches (service.Config.CacheSize) already dedupe across
 	// coordinators.
 	CacheSize int
+	// OnRequeue, when non-nil, observes every batch-job requeue caused by
+	// a member failure: job is the batch index, attempts the count so far,
+	// err the member error that killed the chunk. Durable layers hang
+	// attempt persistence off this hook (the campaign coordinator logs an
+	// attempt record per shard death the same way); it runs inline under
+	// the batch lock, so keep it fast and never call back into the Pool.
+	OnRequeue func(job, attempts int, err error)
 }
 
 // NewPool returns a Pool over the given members. At least one backend is
@@ -481,7 +488,7 @@ func (st *batchState) take(ctx context.Context, n int) []int {
 // member failure the chunk's jobs are requeued for the survivors unless
 // they are out of attempts, in which case callErr becomes their per-job
 // error.
-func (st *batchState) settle(chunk []int, results []core.JobResult, callErr error, maxAttempts int) {
+func (st *batchState) settle(chunk []int, results []core.JobResult, callErr error, maxAttempts int, onRequeue func(job, attempts int, err error)) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.outstanding--
@@ -500,6 +507,9 @@ func (st *batchState) settle(chunk []int, results []core.JobResult, callErr erro
 				st.done[idx] = true
 			} else {
 				st.pending = append(st.pending, idx)
+				if onRequeue != nil {
+					onRequeue(idx, st.attempts[idx], callErr)
+				}
 			}
 		}
 	}
@@ -581,7 +591,7 @@ func (p *Pool) SolveBatch(ctx context.Context, jobs []core.BatchJob, opts core.B
 				if err == nil && len(br.Jobs) != len(chunk) {
 					err = fmt.Errorf("backend: %s returned %d results for a %d-job chunk", be.Name(), len(br.Jobs), len(chunk))
 				}
-				st.settle(chunk, br.Jobs, err, p.cfg.MaxAttempts)
+				st.settle(chunk, br.Jobs, err, p.cfg.MaxAttempts, p.cfg.OnRequeue)
 				if err != nil {
 					// This member is dropped for the rest of the batch
 					// (and out of the rotation until a fresh probe);

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -21,7 +22,8 @@ import (
 // (internal/service owns the request/response types, so client and
 // server cannot drift). It maps transport and protocol failures into
 // errors a Pool can route on, retries transient failures (network
-// errors, 502/503/504) with exponential backoff, and propagates the
+// errors, 502/503/504, and 429 — honoring the server's Retry-After as
+// the backoff floor) with exponential backoff, and propagates the
 // caller's context deadline onto the wire as timeout_ms — slightly
 // shortened so the server cancels its walkers and returns the partial
 // cancelled result before the client's own deadline slams the
@@ -157,6 +159,11 @@ type RemoteError struct {
 	Backend string
 	Status  int // HTTP status; 0 for transport failures
 	Err     error
+	// RetryAfter is the server's Retry-After hint (0 when absent): how
+	// long the node asked to be left alone before the next attempt. The
+	// retry loop uses it as the backoff floor — a 429 from admission
+	// control or a full job store comes with exactly this hint.
+	RetryAfter time.Duration
 }
 
 func (e *RemoteError) Error() string {
@@ -169,15 +176,20 @@ func (e *RemoteError) Error() string {
 func (e *RemoteError) Unwrap() error { return e.Err }
 
 // Transient reports whether the failure is worth retrying: network
-// errors and gateway/overload statuses. Client errors (4xx) and plain
-// internal errors are deterministic — retrying re-earns the same reply.
+// errors, gateway/overload statuses, and 429 — a rate-limited or
+// job-store-full node is merely busy, not broken, and refusing to retry
+// it would abandon work a few hundred milliseconds of patience completes
+// (the server says how much patience via Retry-After). Other client
+// errors (4xx) and plain internal errors are deterministic — retrying
+// re-earns the same reply.
 func (e *RemoteError) Transient() bool {
 	switch e.Status {
 	case 0:
 		// Transport failure — but a cancelled/expired context is the
 		// caller's own stop signal, not a node fault.
 		return !errors.Is(e.Err, context.Canceled) && !errors.Is(e.Err, context.DeadlineExceeded)
-	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout,
+		http.StatusTooManyRequests:
 		return true
 	}
 	return false
@@ -186,18 +198,24 @@ func (e *RemoteError) Transient() bool {
 // wireTimeoutMS converts ctx's remaining budget into the request's
 // timeout_ms: 90% of the remainder, so the server-side cancellation
 // (which returns a well-formed partial result) wins the race against the
-// client-side connection teardown.
-func wireTimeoutMS(ctx context.Context) int64 {
+// client-side connection teardown. A deadline that already passed (or is
+// about to — under a millisecond left) is a failed call the wire cannot
+// save: the error returns immediately instead of clamping the budget to
+// 1ms and burning a round-trip that cannot succeed.
+func wireTimeoutMS(ctx context.Context) (int64, error) {
 	d, ok := ctx.Deadline()
 	if !ok {
-		return 0
+		return 0, nil
 	}
 	remaining := time.Until(d)
 	ms := int64(remaining-remaining/10) / int64(time.Millisecond)
 	if ms < 1 {
-		ms = 1
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return 0, context.DeadlineExceeded
 	}
-	return ms
+	return ms, nil
 }
 
 // post sends one JSON request and decodes the 200 reply into out.
@@ -228,7 +246,12 @@ func (r *Remote) post(ctx context.Context, path string, body, out any) error {
 		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
 			msg = eb.Error
 		}
-		return &RemoteError{Backend: r.Name(), Status: resp.StatusCode, Err: errors.New(msg)}
+		return &RemoteError{
+			Backend:    r.Name(),
+			Status:     resp.StatusCode,
+			Err:        errors.New(msg),
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	if err := json.Unmarshal(data, out); err != nil {
 		return &RemoteError{Backend: r.Name(), Err: fmt.Errorf("bad response body: %w", err)}
@@ -236,8 +259,36 @@ func (r *Remote) post(ctx context.Context, path string, body, out any) error {
 	return nil
 }
 
+// parseRetryAfter decodes a Retry-After header value. Only the
+// delta-seconds form is produced by this repository's servers
+// (service.admit, the job-store-full refusal); an HTTP-date or garbage
+// value degrades to 0 — no hint.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retryWait resolves the pause before the next attempt: the exponential
+// backoff, floored by the server's Retry-After hint when the failure
+// carried one — retrying a rate-limited node before the interval it
+// asked for just earns another 429 and burns an attempt.
+func retryWait(backoff time.Duration, err error) time.Duration {
+	var re *RemoteError
+	if errors.As(err, &re) && re.RetryAfter > backoff {
+		return re.RetryAfter
+	}
+	return backoff
+}
+
 // call is post with the retry policy: transient failures back off
-// exponentially and retry while ctx is still live.
+// exponentially (floored by the server's Retry-After, when given) and
+// retry while ctx is still live.
 func (r *Remote) call(ctx context.Context, path string, body, out any) error {
 	backoff := r.cfg.Backoff
 	for attempt := 0; ; attempt++ {
@@ -252,7 +303,7 @@ func (r *Remote) call(ctx context.Context, path string, body, out any) error {
 		select {
 		case <-ctx.Done():
 			return err
-		case <-time.After(backoff):
+		case <-time.After(retryWait(backoff, err)):
 		}
 		backoff *= 2
 	}
@@ -313,7 +364,11 @@ func (r *Remote) SolveSpec(ctx context.Context, spec string, opts core.Options) 
 	if err != nil {
 		return core.Result{}, err
 	}
-	req := service.SolveRequest{Model: mspec, Options: wopts, TimeoutMS: wireTimeoutMS(ctx)}
+	timeoutMS, err := wireTimeoutMS(ctx)
+	if err != nil {
+		return core.Result{}, err
+	}
+	req := service.SolveRequest{Model: mspec, Options: wopts, TimeoutMS: timeoutMS}
 	var resp service.SolveResponse
 	if err := r.call(ctx, "/v1/solve", req, &resp); err != nil {
 		return core.Result{}, err
@@ -350,11 +405,15 @@ func (r *Remote) SolveBatch(ctx context.Context, jobs []core.BatchJob, opts core
 	}
 
 	if len(wire) > 0 {
+		timeoutMS, err := wireTimeoutMS(ctx)
+		if err != nil {
+			return core.BatchResult{}, err
+		}
 		req := service.BatchRequest{
 			Jobs:         wire,
 			Concurrency:  opts.Concurrency,
 			ReuseEngines: opts.ReuseEngines,
-			TimeoutMS:    wireTimeoutMS(ctx),
+			TimeoutMS:    timeoutMS,
 		}
 		var resp service.BatchResponse
 		if err := r.call(ctx, "/v1/batch", req, &resp); err != nil {

@@ -1,0 +1,85 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+)
+
+// HTTPControl implements Control against a coordinator's /v1/campaigns
+// HTTP surface (internal/service). The base URL is swappable at runtime
+// (SetBase) so a worker can be re-pointed at a coordinator that came
+// back on a different address — the kill-and-resume e2e does exactly
+// that.
+type HTTPControl struct {
+	base   atomic.Value // string
+	client *http.Client
+}
+
+// NewHTTPControl builds a client for the coordinator at base (e.g.
+// "http://host:7333"). client nil means http.DefaultClient.
+func NewHTTPControl(base string, client *http.Client) *HTTPControl {
+	c := &HTTPControl{client: client}
+	if c.client == nil {
+		c.client = http.DefaultClient
+	}
+	c.SetBase(base)
+	return c
+}
+
+// SetBase re-points the client; safe concurrently with calls. A bare
+// host:port is accepted and defaults to http — "localhost:8080" and
+// "http://localhost:8080" address the same coordinator.
+func (c *HTTPControl) SetBase(base string) {
+	if base != "" && !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c.base.Store(strings.TrimRight(base, "/"))
+}
+
+// Base returns the current coordinator base URL.
+func (c *HTTPControl) Base() string { return c.base.Load().(string) }
+
+// Register implements Control.
+func (c *HTTPControl) Register(ctx context.Context, req RegisterRequest) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := c.post(ctx, "/v1/campaigns/register", req, &resp)
+	return resp, err
+}
+
+// Heartbeat implements Control.
+func (c *HTTPControl) Heartbeat(ctx context.Context, req HeartbeatRequest) (HeartbeatResponse, error) {
+	var resp HeartbeatResponse
+	err := c.post(ctx, "/v1/campaigns/heartbeat", req, &resp)
+	return resp, err
+}
+
+func (c *HTTPControl) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("campaign: encode %s: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base()+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("campaign: %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("campaign: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return fmt.Errorf("campaign: %s: HTTP %d: %s", path, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("campaign: decode %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package campaign
+
+import "testing"
+
+// TestSetBaseNormalizesSchemelessAddrs: solverd -join and costas -addr
+// both accept bare host:port; the control must not emit requests with
+// an unparseable URL (the symptom was a joined worker that silently
+// never heartbeated).
+func TestSetBaseNormalizesSchemelessAddrs(t *testing.T) {
+	for in, want := range map[string]string{
+		"localhost:8080":          "http://localhost:8080",
+		"http://localhost:8080/":  "http://localhost:8080",
+		"https://host.example:1/": "https://host.example:1",
+	} {
+		if got := NewHTTPControl(in, nil).Base(); got != want {
+			t.Errorf("Base(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the campaign layer's durability substrate: one append-only
+// JSON-lines log per campaign under a data directory. Each log line is
+// one record — create, checkpoint, attempt or terminal state — written
+// and fsynced before the mutation is acknowledged, so the on-disk log
+// is always a prefix-consistent history. Open replays every log into an
+// in-memory view; a coordinator restarted over the same directory
+// therefore resumes exactly where the last acknowledged record left off.
+//
+// JSON lines rather than an embedded KV on purpose: records are small
+// and infrequent (one per snapshot interval per shard), replay is a
+// linear scan, the format is greppable during an incident, and the repo
+// takes no new dependency. A torn final line (crash mid-append) is
+// detected by the JSON decoder and dropped — the previous checkpoint
+// stands, which is the "lose at most one snapshot interval" contract.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	files map[string]*os.File // campaign ID → open log file (append mode)
+	views map[string]*view
+}
+
+// view is the replayed in-memory state of one campaign.
+type view struct {
+	spec     Spec
+	state    string
+	reason   string
+	solution *Solution
+	latest   map[int]Checkpoint // shard → highest-epoch checkpoint
+	attempts map[int]int        // shard → cumulative attempts
+	history  []CheckpointMeta   // every checkpoint record, in log order
+}
+
+// record is one log line. Exactly one payload field is set, selected by
+// Type; unknown types are skipped on replay so old binaries can read
+// logs written by newer ones.
+type record struct {
+	Type       string         `json:"type"` // "create" | "checkpoint" | "attempt" | "state"
+	Spec       *Spec          `json:"spec,omitempty"`
+	Checkpoint *Checkpoint    `json:"checkpoint,omitempty"`
+	Attempt    *AttemptRecord `json:"attempt,omitempty"`
+	State      *stateRecord   `json:"state,omitempty"`
+}
+
+type stateRecord struct {
+	State    string    `json:"state"`
+	Reason   string    `json:"reason,omitempty"`
+	Solution *Solution `json:"solution,omitempty"`
+}
+
+const logSuffix = ".campaign.jsonl"
+
+// Open creates dir if needed and replays every campaign log in it.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: open store: %w", err)
+	}
+	s := &Store{dir: dir, files: make(map[string]*os.File), views: make(map[string]*view)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, logSuffix) {
+			continue
+		}
+		id := strings.TrimSuffix(name, logSuffix)
+		if err := s.replay(id); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close closes every open log file. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for id, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.files, id)
+	}
+	return first
+}
+
+func (s *Store) path(id string) string { return filepath.Join(s.dir, id+logSuffix) }
+
+// replay reads one campaign log into a fresh view. A final line that
+// fails to decode (torn write) is dropped; a malformed line elsewhere is
+// an error — the log is supposed to be append-only.
+func (s *Store) replay(id string) error {
+	f, err := os.Open(s.path(id))
+	if err != nil {
+		return fmt.Errorf("campaign: replay %s: %w", id, err)
+	}
+	defer f.Close()
+
+	v := &view{latest: make(map[int]Checkpoint), attempts: make(map[int]int)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var pendingErr error
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// A bad line followed by more lines is corruption, not a torn
+			// tail.
+			return pendingErr
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			pendingErr = fmt.Errorf("campaign: replay %s: corrupt record: %w", id, err)
+			continue
+		}
+		v.apply(rec)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("campaign: replay %s: %w", id, err)
+	}
+	if v.spec.ID == "" {
+		return fmt.Errorf("campaign: replay %s: log has no create record", id)
+	}
+	s.mu.Lock()
+	s.views[id] = v
+	s.mu.Unlock()
+	return nil
+}
+
+func (v *view) apply(rec record) {
+	switch rec.Type {
+	case "create":
+		if rec.Spec != nil {
+			v.spec = *rec.Spec
+			v.state = StateRunning
+		}
+	case "checkpoint":
+		if cp := rec.Checkpoint; cp != nil {
+			if prev, ok := v.latest[cp.Shard]; !ok || cp.Epoch > prev.Epoch {
+				v.latest[cp.Shard] = *cp
+			}
+			v.history = append(v.history, cp.Meta())
+		}
+	case "attempt":
+		if a := rec.Attempt; a != nil {
+			if a.Attempts > v.attempts[a.Shard] {
+				v.attempts[a.Shard] = a.Attempts
+			}
+		}
+	case "state":
+		if st := rec.State; st != nil {
+			v.state = st.State
+			v.reason = st.Reason
+			if st.Solution != nil {
+				v.solution = st.Solution
+			}
+		}
+	}
+}
+
+// append writes one record to id's log and fsyncs before returning; the
+// in-memory view is updated only after the record is durable.
+func (s *Store) append(id string, rec record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.views[id]
+	if !ok {
+		return fmt.Errorf("campaign: unknown campaign %q", id)
+	}
+	if err := s.appendLocked(id, rec); err != nil {
+		return err
+	}
+	v.apply(rec)
+	return nil
+}
+
+func (s *Store) appendLocked(id string, rec record) error {
+	f, ok := s.files[id]
+	if !ok {
+		var err error
+		f, err = os.OpenFile(s.path(id), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("campaign: append %s: %w", id, err)
+		}
+		s.files[id] = f
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: append %s: %w", id, err)
+	}
+	line = append(line, '\n')
+	if _, err := f.Write(line); err != nil {
+		return fmt.Errorf("campaign: append %s: %w", id, err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("campaign: append %s: %w", id, err)
+	}
+	return nil
+}
+
+// Create persists a new campaign. spec must already be normalized and
+// carry an ID; creating an existing ID is an error.
+func (s *Store) Create(spec Spec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if spec.ID == "" {
+		return fmt.Errorf("campaign: create without ID")
+	}
+	if _, ok := s.views[spec.ID]; ok {
+		return fmt.Errorf("campaign: campaign %q already exists", spec.ID)
+	}
+	if err := s.appendLocked(spec.ID, record{Type: "create", Spec: &spec}); err != nil {
+		return err
+	}
+	v := &view{latest: make(map[int]Checkpoint), attempts: make(map[int]int)}
+	v.apply(record{Type: "create", Spec: &spec})
+	s.views[spec.ID] = v
+	return nil
+}
+
+// PutCheckpoint persists one shard checkpoint.
+func (s *Store) PutCheckpoint(cp Checkpoint) error {
+	return s.append(cp.CampaignID, record{Type: "checkpoint", Checkpoint: &cp})
+}
+
+// PutAttempt persists a shard (re)start event.
+func (s *Store) PutAttempt(id string, a AttemptRecord) error {
+	return s.append(id, record{Type: "attempt", Attempt: &a})
+}
+
+// PutState persists a state transition (solved, cancelled).
+func (s *Store) PutState(id, state, reason string, sol *Solution) error {
+	return s.append(id, record{Type: "state", State: &stateRecord{State: state, Reason: reason, Solution: sol}})
+}
+
+// Campaigns lists every known campaign ID, sorted.
+func (s *Store) Campaigns() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.views))
+	for id := range s.views {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Spec returns a campaign's spec.
+func (s *Store) Spec(id string) (Spec, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.views[id]
+	if !ok {
+		return Spec{}, false
+	}
+	return v.spec, true
+}
+
+// State returns a campaign's current state.
+func (s *Store) State(id string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.views[id]
+	if !ok {
+		return "", false
+	}
+	return v.state, true
+}
+
+// Latest returns shard's highest-epoch checkpoint, if any.
+func (s *Store) Latest(id string, shard int) (Checkpoint, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.views[id]
+	if !ok {
+		return Checkpoint{}, false
+	}
+	cp, ok := v.latest[shard]
+	return cp, ok
+}
+
+// LatestEpoch returns shard's highest persisted epoch (0 if none).
+func (s *Store) LatestEpoch(id string, shard int) int64 {
+	cp, ok := s.Latest(id, shard)
+	if !ok {
+		return 0
+	}
+	return cp.Epoch
+}
+
+// Attempts returns shard's cumulative attempt count.
+func (s *Store) Attempts(id string, shard int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.views[id]
+	if !ok {
+		return 0
+	}
+	return v.attempts[shard]
+}
+
+// History returns every checkpoint record of a campaign, in log order.
+func (s *Store) History(id string) []CheckpointMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.views[id]
+	if !ok {
+		return nil
+	}
+	out := make([]CheckpointMeta, len(v.history))
+	copy(out, v.history)
+	return out
+}
+
+// Status materializes a campaign's persisted view. The Worker field of
+// each shard row and the Workers count are runtime facts the coordinator
+// overlays; the store leaves them zero.
+func (s *Store) Status(id string) (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.views[id]
+	if !ok {
+		return Status{}, false
+	}
+	st := Status{
+		Spec:        v.spec,
+		State:       v.state,
+		Reason:      v.reason,
+		Solution:    v.solution,
+		BestCost:    -1,
+		Checkpoints: len(v.history),
+	}
+	for shard := 0; shard < v.spec.Shards; shard++ {
+		row := ShardStatus{Shard: shard, BestCost: -1, Attempts: v.attempts[shard]}
+		if cp, ok := v.latest[shard]; ok {
+			row.Epoch = cp.Epoch
+			row.Iterations = cp.Iterations
+			row.BestCost = cp.BestCost
+			row.Updated = cp.Taken
+			st.Iterations += cp.Iterations
+			if st.BestCost < 0 || cp.BestCost < st.BestCost {
+				st.BestCost = cp.BestCost
+			}
+		}
+		st.Shards = append(st.Shards, row)
+	}
+	return st, true
+}

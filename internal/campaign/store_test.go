@@ -1,0 +1,201 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testSpec(id string) Spec {
+	return Spec{
+		ID:            id,
+		RunSpec:       "costas n=14",
+		Shards:        2,
+		Walkers:       2,
+		SnapshotIters: 128,
+		MasterSeed:    1,
+		Created:       time.Unix(1000, 0).UTC(),
+	}
+}
+
+func testCheckpoint(id string, shard int, epoch int64) Checkpoint {
+	return Checkpoint{
+		CampaignID: id,
+		Shard:      shard,
+		Epoch:      epoch,
+		Iterations: epoch * 256,
+		BestCost:   int(10 - epoch),
+		Walkers: []WalkerState{
+			{Config: []int{0, 1, 2}, Iterations: epoch * 128, Cost: 3},
+			{Config: []int{2, 1, 0}, Iterations: epoch * 128, Cost: int(10 - epoch)},
+		},
+		Taken: time.Unix(2000+epoch, 0).UTC(),
+	}
+}
+
+// TestStoreReplayRoundTrip: everything persisted before a crash is
+// visible after reopening the directory.
+func TestStoreReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	spec := testSpec("c1")
+	if err := s.Create(spec); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := s.Create(spec); err == nil {
+		t.Fatal("duplicate Create succeeded")
+	}
+	for epoch := int64(1); epoch <= 3; epoch++ {
+		if err := s.PutCheckpoint(testCheckpoint("c1", 0, epoch)); err != nil {
+			t.Fatalf("PutCheckpoint: %v", err)
+		}
+	}
+	if err := s.PutCheckpoint(testCheckpoint("c1", 1, 1)); err != nil {
+		t.Fatalf("PutCheckpoint: %v", err)
+	}
+	if err := s.PutAttempt("c1", AttemptRecord{Shard: 1, Worker: "w1", Attempts: 1, Reason: "lease expired"}); err != nil {
+		t.Fatalf("PutAttempt: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// The "restarted coordinator" view.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.Campaigns(); len(got) != 1 || got[0] != "c1" {
+		t.Fatalf("Campaigns() = %v, want [c1]", got)
+	}
+	gotSpec, ok := s2.Spec("c1")
+	if !ok || gotSpec.RunSpec != spec.RunSpec || gotSpec.Shards != spec.Shards {
+		t.Fatalf("Spec() = %+v, %v", gotSpec, ok)
+	}
+	if st, _ := s2.State("c1"); st != StateRunning {
+		t.Fatalf("State() = %q, want running", st)
+	}
+	cp, ok := s2.Latest("c1", 0)
+	if !ok || cp.Epoch != 3 {
+		t.Fatalf("Latest(shard 0) epoch = %d (%v), want 3", cp.Epoch, ok)
+	}
+	if got := s2.LatestEpoch("c1", 1); got != 1 {
+		t.Fatalf("LatestEpoch(shard 1) = %d, want 1", got)
+	}
+	if got := s2.Attempts("c1", 1); got != 1 {
+		t.Fatalf("Attempts(shard 1) = %d, want 1", got)
+	}
+	if got := len(s2.History("c1")); got != 4 {
+		t.Fatalf("History len = %d, want 4", got)
+	}
+	st, ok := s2.Status("c1")
+	if !ok {
+		t.Fatal("Status missing")
+	}
+	if st.Iterations != 3*256+256 || st.Checkpoints != 4 {
+		t.Fatalf("Status iterations=%d checkpoints=%d", st.Iterations, st.Checkpoints)
+	}
+	if st.BestCost != 7 {
+		t.Fatalf("Status best cost = %d, want 7", st.BestCost)
+	}
+}
+
+// TestStoreTerminalStates: solved and cancelled survive a reopen, with
+// the solution attached.
+func TestStoreTerminalStates(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(testSpec("c1")); err != nil {
+		t.Fatal(err)
+	}
+	sol := Solution{CampaignID: "c1", Shard: 1, Walker: 3, Epoch: 2, Iterations: 999, Config: []int{1, 0, 2}}
+	if err := s.PutState("c1", StateSolved, "", &sol); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st, _ := s2.Status("c1")
+	if st.State != StateSolved || st.Solution == nil || st.Solution.Walker != 3 {
+		t.Fatalf("Status after reopen = %+v", st)
+	}
+}
+
+// TestStoreTornTail: a crash mid-append leaves a torn last line; replay
+// drops it and keeps everything before it — at most one record lost.
+func TestStoreTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(testSpec("c1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCheckpoint(testCheckpoint("c1", 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, "c1"+logSuffix)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"checkpoint","checkpoint":{"campaign_id":"c1","shard":0,"ep`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.LatestEpoch("c1", 0); got != 1 {
+		t.Fatalf("LatestEpoch after torn tail = %d, want 1", got)
+	}
+	// And the log is appendable again after recovery.
+	if err := s2.PutCheckpoint(testCheckpoint("c1", 0, 2)); err != nil {
+		t.Fatalf("append after torn-tail recovery: %v", err)
+	}
+}
+
+// TestStoreCorruptMiddle: garbage that is NOT the last line is real
+// corruption and must fail loudly, not be skipped.
+func TestStoreCorruptMiddle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(testSpec("c1")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, "c1"+logSuffix)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("not json at all\n")
+	f.WriteString(`{"type":"state","state":{"state":"cancelled"}}` + "\n")
+	f.Close()
+
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a log with mid-file corruption")
+	}
+}

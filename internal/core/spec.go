@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/adaptive"
 	"repro/internal/registry"
+	"repro/internal/walk"
 )
 
 // optionKeyDoc maps each solver-option spec key to a short description —
@@ -217,6 +218,24 @@ func SolveInstance(ctx context.Context, inst registry.Instance, opts Options) (R
 		return res, fmt.Errorf("core: internal error — claimed solution %v does not solve %s", res.Array, inst.Spec)
 	}
 	return res, nil
+}
+
+// WalkConfigFor resolves opts into the multi-walk configuration for a
+// registry instance, applying the instance's tuned Adaptive Search
+// parameters as the defaults exactly as SolveInstance does. Layers that
+// drive walker engines themselves instead of calling SolveInstance — the
+// campaign shard runner builds, checkpoints and re-arms engines across
+// process restarts — use this to obtain the identical factory and seed
+// derivation a direct solve would have used.
+func WalkConfigFor(inst registry.Instance, opts Options) (walk.Config, error) {
+	if inst.NewModel == nil {
+		return walk.Config{}, fmt.Errorf("core: unresolved registry instance")
+	}
+	defaults := adaptive.DefaultParams()
+	if tuned, ok := inst.TunedParams(); ok {
+		defaults = tuned
+	}
+	return walkConfig(opts, defaults)
 }
 
 // SolveSpec parses a run spec and solves it; base supplies the solver

@@ -101,7 +101,7 @@ type Engine interface {
 type Factory func(model Model, seed uint64) Engine
 
 // Restartable is implemented by engines that can be restarted from an
-// externally supplied configuration. Two layers build on the hook:
+// externally supplied configuration. Three layers build on the hook:
 //
 //   - the cooperative multi-walk (§VI future work) seeds restarts from
 //     shared crossroads mid-run;
@@ -109,7 +109,11 @@ type Factory func(model Model, seed uint64) Engine
 //     across solves on a hot path: instead of allocating a fresh model and
 //     engine per instance, a worker re-arms a compatible cached engine
 //     with RestartFrom(freshRandomPermutation) and attributes per-solve
-//     work via Stats().Sub.
+//     work via Stats().Sub;
+//   - the campaign layer (internal/campaign) checkpoints long-running
+//     walks: a Snapshot captures a walker's configuration and work count,
+//     and resume re-arms a fresh engine with RestartFrom(snapshot.Config)
+//     — see TakeSnapshot.
 //
 // The contract RestartFrom must honour (enforced by the conformance suite
 // in this package's tests): install a *copy* of cfg — never alias caller
@@ -124,4 +128,37 @@ type Factory func(model Model, seed uint64) Engine
 type Restartable interface {
 	Engine
 	RestartFrom(cfg []int)
+}
+
+// Snapshot is a walker's resumable state, captured at a quantum boundary:
+// the configuration to restart the walk from, plus the counters a
+// checkpoint carries forward. It deliberately contains only what
+// RestartFrom can restore — a configuration — not RNG or tabu state:
+// a resumed walker is a restart from the snapshot point, which is exactly
+// the semantics the Restartable contract defines (per-run search state
+// cleared, walk resumes as if freshly started from Config). A layer that
+// needs a bit-identical continuation across the snapshot (the campaign
+// checkpointer) therefore re-arms its LIVE walker from the same snapshot
+// it persists, so the surviving and the recovered walk follow one
+// trajectory.
+type Snapshot struct {
+	// Config is the walker's configuration at capture time (an engine's
+	// Solution() — the current configuration, or the best one for methods
+	// that track a separate incumbent; either is a valid restart point).
+	Config []int
+	// Iterations is the walker's iteration count at capture time.
+	Iterations int64
+	// Cost is the configuration's global cost at capture time.
+	Cost int
+}
+
+// TakeSnapshot captures e's resumable state. The returned Config is a
+// copy (Solution() clones), so the snapshot stays valid while the engine
+// walks on.
+func TakeSnapshot(e Engine) Snapshot {
+	return Snapshot{
+		Config:     e.Solution(),
+		Iterations: e.Stats().Iterations,
+		Cost:       e.Cost(),
+	}
 }

@@ -25,11 +25,12 @@ type Group struct {
 }
 
 type flight struct {
-	done    chan struct{} // closed after val/err are final
-	cancel  context.CancelFunc
-	waiters int
-	val     any
-	err     error
+	done      chan struct{} // closed after val/err are final
+	cancel    context.CancelFunc
+	waiters   int
+	completed bool // val/err are final; guarded by Group.mu
+	val       any
+	err       error
 }
 
 // Do returns the result of fn for key, coalescing with any in-flight
@@ -37,6 +38,8 @@ type flight struct {
 // existing flight rather than starting one. When ctx ends before the
 // flight completes, Do returns ctx's error and the flight keeps running
 // for its remaining waiters (or is cancelled if this was the last one).
+// A flight that has already completed always wins over a simultaneously
+// ended ctx — the result exists, so the caller gets it.
 func (g *Group) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (val any, err error, coalesced bool) {
 	g.mu.Lock()
 	if g.flights == nil {
@@ -53,7 +56,7 @@ func (g *Group) Do(ctx context.Context, key string, fn func(context.Context) (an
 		go func() {
 			v, e := fn(fctx)
 			g.mu.Lock()
-			f.val, f.err = v, e
+			f.val, f.err, f.completed = v, e, true
 			delete(g.flights, key)
 			g.mu.Unlock()
 			close(f.done) // publishes val/err to waiters
@@ -67,11 +70,19 @@ func (g *Group) Do(ctx context.Context, key string, fn func(context.Context) (an
 		return f.val, f.err, coalesced
 	case <-ctx.Done():
 		g.mu.Lock()
+		// The two select cases race: a flight that completed in the same
+		// instant the waiter's ctx ended may lose the (random) select
+		// pick. The work is done and paid for — hand it over instead of
+		// discarding it for a ctx error. completed is checked under mu,
+		// which orders it after the val/err writes.
+		if f.completed {
+			g.mu.Unlock()
+			return f.val, f.err, coalesced
+		}
 		f.waiters--
 		if f.waiters == 0 {
 			// Last waiter gone: nobody wants this result any more — stop
-			// the work. (If the flight already completed, cancel is a
-			// no-op; its map entry is gone either way.)
+			// the work.
 			f.cancel()
 		}
 		g.mu.Unlock()

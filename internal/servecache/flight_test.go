@@ -169,3 +169,85 @@ func TestGroupSequentialCallsRunSeparately(t *testing.T) {
 		}
 	}
 }
+
+// TestGroupCompletedFlightBeatsCancelledCtx: a waiter whose ctx ends
+// only after the flight has published its result must receive the
+// result, never the ctx error. The old code lost this race whenever the
+// waiter reached its select with both channels ready and the (random)
+// pick favoured ctx.Done — the done-and-paid-for result was discarded.
+//
+// The flight context is the ordering handle: the flight goroutine
+// cancels it strictly after publishing val/err, so a waiter using fctx
+// as its own ctx can only ever see ctx.Done fire with the result final.
+// The second waiter races its Do entry against the flight completing to
+// land in that both-ready select window; across the iterations the old
+// code fails reliably, the fix never does.
+func TestGroupCompletedFlightBeatsCancelledCtx(t *testing.T) {
+	for i := 0; i < 2000; i++ {
+		var g Group
+		release := make(chan struct{})
+		fctxCh := make(chan context.Context, 1)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, _ := g.Do(context.Background(), "k", func(fctx context.Context) (any, error) {
+				fctxCh <- fctx
+				<-release
+				return 42, nil
+			})
+			if v != 42 || err != nil {
+				t.Errorf("iteration %d: starter got (%v, %v), want (42, nil)", i, v, err)
+			}
+		}()
+		fctx := <-fctxCh
+
+		wg.Add(1)
+		started := make(chan struct{})
+		var val any
+		var err error
+		var coalesced bool
+		go func() {
+			defer wg.Done()
+			close(started)
+			val, err, coalesced = g.Do(fctx, "k", func(context.Context) (any, error) {
+				return 43, nil // only runs if the join lost the race to publication
+			})
+		}()
+		<-started
+		close(release) // completion races the second waiter's join and select entry
+		wg.Wait()
+		if coalesced && (err != nil || val != 42) {
+			t.Fatalf("iteration %d: Do = (%v, %v); a completed flight lost to a cancelled ctx", i, val, err)
+		}
+	}
+}
+
+// TestGroupCompletedFlightCtxBranchReturnsResult pins the fix branch
+// deterministically. The flight goroutine publishes val/err and sets
+// completed under mu, releases mu, and only then closes done — so there
+// is a real window where a waiter woken by its own ctx finds the result
+// final but done still open. The old code returned ctx.Err() there,
+// discarding a finished result. This white-box test reconstructs that
+// window (a completed flight whose done has not yet closed) and drives a
+// cancelled-ctx waiter through it: the select can only take the ctx
+// branch, which must hand over the value.
+func TestGroupCompletedFlightCtxBranchReturnsResult(t *testing.T) {
+	f := &flight{
+		done:      make(chan struct{}), // not yet closed: mid-publication
+		cancel:    func() {},
+		waiters:   1,
+		completed: true,
+		val:       42,
+	}
+	g := Group{flights: map[string]*flight{"k": f}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	val, err, coalesced := g.Do(ctx, "k", nil)
+	if !coalesced {
+		t.Fatal("waiter did not join the in-flight call")
+	}
+	if err != nil || val != 42 {
+		t.Fatalf("Do = (%v, %v), want (42, nil): completed flight lost to cancelled ctx", val, err)
+	}
+}

@@ -1,0 +1,146 @@
+package service
+
+// Campaign endpoints: the HTTP face of internal/campaign's Coordinator.
+//
+//	POST /v1/campaigns                  create a campaign
+//	GET  /v1/campaigns                  list campaigns
+//	GET  /v1/campaigns/{id}             one campaign's status
+//	GET  /v1/campaigns/{id}/checkpoints checkpoint history (metadata)
+//	POST /v1/campaigns/{id}/cancel      cancel a campaign
+//	POST /v1/campaigns/register         worker: announce membership
+//	POST /v1/campaigns/heartbeat        worker: report + receive orders
+//
+// Campaign requests deliberately bypass the worker semaphore and the
+// serving fast path: creating or polling a campaign costs no solver
+// slot (the walking happens on campaign workers), and worker heartbeats
+// must get through even when every slot is busy — a wedged heartbeat
+// path would expire healthy leases and churn shard assignments.
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// campaignCreateRequest is the wire form of a campaign create call.
+type campaignCreateRequest struct {
+	// Spec is the instance + solver options run spec, e.g. "costas n=24".
+	Spec string `json:"spec"`
+	// Shards, Walkers, SnapshotIters and Seed mirror campaign.Spec; zero
+	// means that field's default.
+	Shards        int    `json:"shards,omitempty"`
+	Walkers       int    `json:"walkers,omitempty"`
+	SnapshotIters int64  `json:"snapshot_iters,omitempty"`
+	Seed          uint64 `json:"seed,omitempty"`
+	// Hours bounds the campaign's wall-clock lifetime; 0 means unbounded.
+	Hours float64 `json:"hours,omitempty"`
+}
+
+func (s *Server) registerCampaignRoutes() {
+	s.mux.HandleFunc("POST /v1/campaigns", s.instrument("campaigns", s.handleCampaignCreate))
+	s.mux.HandleFunc("GET /v1/campaigns", s.instrument("campaigns", s.handleCampaignList))
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.instrument("campaigns", s.handleCampaignStatus))
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/checkpoints", s.instrument("campaigns", s.handleCampaignCheckpoints))
+	s.mux.HandleFunc("POST /v1/campaigns/{id}/cancel", s.instrument("campaigns", s.handleCampaignCancel))
+	s.mux.HandleFunc("POST /v1/campaigns/register", s.instrument("campaigns", s.handleCampaignRegister))
+	s.mux.HandleFunc("POST /v1/campaigns/heartbeat", s.instrument("campaigns", s.handleCampaignHeartbeat))
+}
+
+func (s *Server) handleCampaignCreate(w http.ResponseWriter, r *http.Request) {
+	var req campaignCreateRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	spec := campaign.Spec{
+		RunSpec:       req.Spec,
+		Shards:        req.Shards,
+		Walkers:       req.Walkers,
+		SnapshotIters: req.SnapshotIters,
+		MasterSeed:    req.Seed,
+	}
+	if req.Hours < 0 {
+		writeErr(w, clientErr("negative hours %v", req.Hours))
+		return
+	}
+	if req.Hours > 0 {
+		spec.Deadline = time.Now().Add(time.Duration(req.Hours * float64(time.Hour))).UTC()
+	}
+	created, err := s.cfg.Campaigns.Create(spec)
+	if err != nil {
+		writeErr(w, clientErr("%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, created)
+}
+
+func (s *Server) handleCampaignList(w http.ResponseWriter, r *http.Request) {
+	statuses := s.cfg.Campaigns.List()
+	if statuses == nil {
+		statuses = []campaign.Status{}
+	}
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.cfg.Campaigns.Status(id)
+	if !ok {
+		writeErr(w, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown campaign %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCampaignCheckpoints(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	metas, ok := s.cfg.Campaigns.Checkpoints(id)
+	if !ok {
+		writeErr(w, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown campaign %q", id)})
+		return
+	}
+	if metas == nil {
+		metas = []campaign.CheckpointMeta{}
+	}
+	writeJSON(w, http.StatusOK, metas)
+}
+
+func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.cfg.Campaigns.Cancel(id, "cancelled via API"); err != nil {
+		writeErr(w, &httpError{status: http.StatusNotFound, msg: err.Error()})
+		return
+	}
+	st, _ := s.cfg.Campaigns.Status(id)
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCampaignRegister(w http.ResponseWriter, r *http.Request) {
+	var req campaign.RegisterRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp, err := s.cfg.Campaigns.Register(r.Context(), req)
+	if err != nil {
+		writeErr(w, clientErr("%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCampaignHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req campaign.HeartbeatRequest
+	if err := decodeStrict(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp, err := s.cfg.Campaigns.Heartbeat(r.Context(), req)
+	if err != nil {
+		writeErr(w, clientErr("%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,256 @@
+package service
+
+// End-to-end campaign coverage: the HTTP API surface, and the
+// acceptance-criteria scenario for PR 8 — kill the coordinator process
+// mid-campaign (plus one of its workers) and verify the reopened
+// coordinator resumes every shard from its most recent checkpoint
+// instead of restarting the search. Runs in CI under -race.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func newCampaignServer(t *testing.T, dir string) (*campaign.Coordinator, *campaign.Store, string) {
+	t.Helper()
+	store, err := campaign.Open(dir)
+	if err != nil {
+		t.Fatalf("campaign.Open: %v", err)
+	}
+	t.Cleanup(func() { store.Close() })
+	coord, err := campaign.NewCoordinator(campaign.CoordinatorConfig{Store: store, LeaseTTL: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	_, ts := newTestServer(t, Config{Campaigns: coord})
+	return coord, store, ts.URL
+}
+
+func campaignStatus(t *testing.T, base, id string) campaign.Status {
+	t.Helper()
+	var st campaign.Status
+	if code := getJSON(t, base+"/v1/campaigns/"+id, &st); code != 200 {
+		t.Fatalf("GET status = %d", code)
+	}
+	return st
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func startCampaignWorker(t *testing.T, id, base string) (*campaign.Worker, *campaign.HTTPControl, context.CancelFunc) {
+	t.Helper()
+	ctl := campaign.NewHTTPControl(base, nil)
+	w, err := campaign.NewWorker(campaign.WorkerConfig{ID: id, Control: ctl, Capacity: 1, Heartbeat: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewWorker(%s): %v", id, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = w.Run(ctx) }()
+	t.Cleanup(func() { cancel(); <-done })
+	return w, ctl, cancel
+}
+
+// TestCampaignHTTPAPI: the request/response surface — create,
+// validation, list, status, checkpoints, cancel, 404s.
+func TestCampaignHTTPAPI(t *testing.T) {
+	_, _, base := newCampaignServer(t, t.TempDir())
+
+	// A per-walk budget contradicts run-until-solved and is rejected.
+	if code := postJSON(t, base+"/v1/campaigns", map[string]any{"spec": "costas n=12 maxiter=100"}, nil); code != 400 {
+		t.Fatalf("create with maxiter = %d, want 400", code)
+	}
+	if code := postJSON(t, base+"/v1/campaigns", map[string]any{"spec": "costas n=12", "hours": -1}, nil); code != 400 {
+		t.Fatalf("create with negative hours = %d, want 400", code)
+	}
+
+	var spec campaign.Spec
+	if code := postJSON(t, base+"/v1/campaigns", map[string]any{
+		"spec": "costas n=20", "shards": 2, "walkers": 2, "snapshot_iters": 4096, "hours": 1,
+	}, &spec); code != 200 {
+		t.Fatalf("create = %d", code)
+	}
+	if spec.ID == "" || spec.Shards != 2 || spec.Deadline.IsZero() {
+		t.Fatalf("created spec = %+v", spec)
+	}
+
+	var list []campaign.Status
+	if code := getJSON(t, base+"/v1/campaigns", &list); code != 200 || len(list) != 1 {
+		t.Fatalf("list = %d with %d campaigns, want 200 with 1", code, len(list))
+	}
+	st := campaignStatus(t, base, spec.ID)
+	if st.State != campaign.StateRunning || len(st.Shards) != 2 {
+		t.Fatalf("status = %+v", st)
+	}
+	var metas []campaign.CheckpointMeta
+	if code := getJSON(t, base+"/v1/campaigns/"+spec.ID+"/checkpoints", &metas); code != 200 || len(metas) != 0 {
+		t.Fatalf("checkpoints = %d with %d metas, want 200 with 0", code, len(metas))
+	}
+
+	if code := getJSON(t, base+"/v1/campaigns/nope", nil); code != 404 {
+		t.Fatalf("status of unknown campaign = %d, want 404", code)
+	}
+	if code := postJSON(t, base+"/v1/campaigns/nope/cancel", map[string]any{}, nil); code != 404 {
+		t.Fatalf("cancel of unknown campaign = %d, want 404", code)
+	}
+
+	if code := postJSON(t, base+"/v1/campaigns/"+spec.ID+"/cancel", map[string]any{}, &st); code != 200 {
+		t.Fatalf("cancel = %d", code)
+	}
+	if st.State != campaign.StateCancelled {
+		t.Fatalf("state after cancel = %q", st.State)
+	}
+}
+
+// TestCampaignKillAndResume is the PR's acceptance scenario. A campaign
+// runs across two HTTP workers; one worker dies (its shard's attempt is
+// persisted on lease expiry), then the whole coordinator process dies —
+// server closed, store closed. A new coordinator over the same data
+// directory must hand the orphaned shard out with its most recent
+// checkpoint attached, adopt the surviving worker's shard rather than
+// double-assigning it, and both shards must make progress past their
+// pre-crash epochs.
+func TestCampaignKillAndResume(t *testing.T) {
+	dir := t.TempDir()
+	coord1, store1, base1 := newCampaignServer(t, dir)
+	_ = coord1
+
+	var spec campaign.Spec
+	if code := postJSON(t, base1+"/v1/campaigns", map[string]any{
+		// Hard enough that a few thousand-iteration epochs never solve it.
+		"spec": "costas n=26", "shards": 2, "walkers": 2, "snapshot_iters": 1 << 15, "seed": 11,
+	}, &spec); code != 200 {
+		t.Fatalf("create = %d", code)
+	}
+
+	_, _, kill1 := startCampaignWorker(t, "w1", base1)
+	_, ctl2, _ := startCampaignWorker(t, "w2", base1)
+
+	// Phase 1: both shards assigned and checkpointing.
+	var pre campaign.Status
+	waitFor(t, 30*time.Second, "both shards checkpointed", func() bool {
+		pre = campaignStatus(t, base1, spec.ID)
+		for _, sh := range pre.Shards {
+			if sh.Epoch < 2 || sh.Worker == "" {
+				return false
+			}
+		}
+		return true
+	})
+	deadShard := -1
+	for _, sh := range pre.Shards {
+		if sh.Worker == "w1" {
+			deadShard = sh.Shard
+		}
+	}
+	if deadShard < 0 {
+		t.Fatalf("w1 owns no shard: %+v", pre.Shards)
+	}
+
+	// Phase 2: w1 dies; the coordinator notices via lease expiry and
+	// persists the attempt before it, too, is killed.
+	kill1()
+	waitFor(t, 10*time.Second, "dead worker's attempt persisted", func() bool {
+		return store1.Attempts(spec.ID, deadShard) >= 1
+	})
+
+	// Phase 3: coordinator process death. The surviving worker w2 keeps
+	// walking its shard and buffering reports against the dead endpoint.
+	store1.Close()
+
+	// Phase 4: restart — fresh store, coordinator and server over the
+	// same directory; w2 is re-pointed at the new address.
+	store2, err := campaign.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	defer store2.Close()
+	coord2, err := campaign.NewCoordinator(campaign.CoordinatorConfig{Store: store2, LeaseTTL: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("restart coordinator: %v", err)
+	}
+	_, ts2 := newTestServer(t, Config{Campaigns: coord2})
+	ctl2.SetBase(ts2.URL)
+
+	// The restarted coordinator adopts w2's reported shard.
+	waitFor(t, 10*time.Second, "surviving shard adopted", func() bool {
+		for _, sh := range campaignStatus(t, ts2.URL, spec.ID).Shards {
+			if sh.Shard != deadShard && sh.Worker == "w2" {
+				return true
+			}
+		}
+		return false
+	})
+
+	// The orphaned shard is offered WITH its most recent checkpoint: a
+	// probe worker asks for work over the real wire and must receive the
+	// shard plus a resume checkpoint at exactly the stored latest epoch.
+	probeCtl := campaign.NewHTTPControl(ts2.URL, nil)
+	wantEpoch := store2.LatestEpoch(spec.ID, deadShard)
+	if wantEpoch < 2 {
+		t.Fatalf("latest epoch for dead shard = %d, want >= 2", wantEpoch)
+	}
+	resp, err := probeCtl.Heartbeat(context.Background(), campaign.HeartbeatRequest{WorkerID: "probe", Capacity: 1})
+	if err != nil {
+		t.Fatalf("probe heartbeat: %v", err)
+	}
+	if len(resp.Assign) != 1 || resp.Assign[0].Shard != deadShard {
+		t.Fatalf("probe assignments = %+v, want the orphaned shard %d", resp.Assign, deadShard)
+	}
+	if r := resp.Assign[0].Resume; r == nil || r.Epoch != wantEpoch {
+		t.Fatalf("orphaned shard offered without its latest checkpoint (epoch %d): %+v", wantEpoch, resp.Assign[0].Resume)
+	}
+	// The probe hands the shard back (capacity 0, nothing running) so a
+	// real replacement can take it.
+	if _, err := probeCtl.Heartbeat(context.Background(), campaign.HeartbeatRequest{WorkerID: "probe", Capacity: 0}); err != nil {
+		t.Fatalf("probe release heartbeat: %v", err)
+	}
+
+	// Phase 5: a replacement worker picks up the orphaned shard and both
+	// shards advance past their pre-restart epochs. Stale-epoch
+	// checkpoints are rejected by the coordinator, so advancement proves
+	// the walkers continued from where the checkpoints left off.
+	startCampaignWorker(t, "w3", ts2.URL)
+	restartEpochs := map[int]int64{}
+	for _, sh := range campaignStatus(t, ts2.URL, spec.ID).Shards {
+		restartEpochs[sh.Shard] = sh.Epoch
+	}
+	waitFor(t, 30*time.Second, "both shards advancing after restart", func() bool {
+		st := campaignStatus(t, ts2.URL, spec.ID)
+		if st.State == campaign.StateSolved {
+			return true // n=26 solving early is legal, if surprising
+		}
+		for _, sh := range st.Shards {
+			if sh.Epoch <= restartEpochs[sh.Shard] || sh.Iterations <= restartEpochs[sh.Shard]*int64(spec.Walkers)*spec.SnapshotIters {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Cancel over the API; the workers are told to stop on their next
+	// heartbeat.
+	var st campaign.Status
+	if code := postJSON(t, ts2.URL+"/v1/campaigns/"+spec.ID+"/cancel", map[string]any{}, &st); code != 200 {
+		t.Fatalf("cancel = %d", code)
+	}
+	if st.State != campaign.StateCancelled && st.State != campaign.StateSolved {
+		t.Fatalf("terminal state = %q", st.State)
+	}
+	if got := st.Shards[deadShard].Attempts; got < 1 {
+		t.Fatalf("dead shard attempts = %d, want >= 1 (lease expiry persisted across restart)", got)
+	}
+}

@@ -13,6 +13,10 @@
 //	GET  /v1/models    the model catalogue (registry entries + options)
 //	GET  /healthz      liveness + load counters
 //
+// With Config.Campaigns set the durable campaign layer (campaigns.go,
+// internal/campaign) is mounted under /v1/campaigns: long-running
+// checkpointed searches with dynamic worker membership.
+//
 // Concurrency is bounded by a server-wide worker semaphore: at most
 // Config.Workers solves run at once across all requests — a sync or
 // async solve occupies one slot, a batch occupies as many slots as its
@@ -55,6 +59,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/registry"
 	"repro/internal/servecache"
@@ -105,6 +110,11 @@ type Config struct {
 	// ClientKeyHeader names the request header identifying a client for
 	// rate limiting; "" means "X-Client-Key".
 	ClientKeyHeader string
+	// Campaigns, when non-nil, exposes the durable campaign layer
+	// (internal/campaign) under /v1/campaigns: create/status/checkpoint
+	// list/cancel for clients, register/heartbeat for workers. nil (the
+	// default) leaves the endpoints unregistered — a plain solve node.
+	Campaigns *campaign.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -319,6 +329,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/models", s.instrument("models", s.handleModels))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Campaigns != nil {
+		s.registerCampaignRoutes()
+	}
 	return s
 }
 
@@ -343,8 +356,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // --- request plumbing ---
 
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int // seconds; emitted as a Retry-After header when > 0
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -362,6 +376,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func writeErr(w http.ResponseWriter, err error) {
 	var he *httpError
 	if errors.As(err, &he) {
+		if he.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+		}
 		writeJSON(w, he.status, map[string]string{"error": he.msg})
 		return
 	}
@@ -813,7 +830,10 @@ func (s *Server) admitJob(kind string) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.evictLocked() {
-		return "", &httpError{status: http.StatusTooManyRequests, msg: "job store full"}
+		// Full means full of *unfinished* jobs; a retrying client should
+		// back off rather than give up (backend.Remote treats 429 as
+		// transient and honours this header as its backoff floor).
+		return "", &httpError{status: http.StatusTooManyRequests, msg: "job store full", retryAfter: 1}
 	}
 	s.nextID++
 	id := fmt.Sprintf("j%d", s.nextID)
@@ -968,6 +988,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"total_iterations":   iterations,
 		"workers":            s.cfg.Workers,
 		"coordinator":        s.cfg.Backend != nil,
+		"campaigns_enabled":  s.cfg.Campaigns != nil,
 		"cache_enabled":      s.cache != nil,
 		"cache_hits":         cs.Hits,
 		"cache_misses":       cs.Misses,

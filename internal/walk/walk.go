@@ -93,10 +93,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// factoryFor returns walker i's engine factory, honouring portfolio mode.
+// FactoryFor returns walker i's engine factory, honouring portfolio mode.
 // It panics on a misconfigured run (no factory at all): every caller is
 // expected to wire a method, and a silent default would hide the bug.
-func (c Config) factoryFor(i int) csp.Factory {
+// Exported for layers that drive engines themselves instead of calling
+// Parallel/Virtual — the campaign shard runner rebuilds walker i's engine
+// from a checkpoint with exactly this factory.
+func (c Config) FactoryFor(i int) csp.Factory {
 	if len(c.Portfolio) > 0 {
 		return c.Portfolio[i%len(c.Portfolio)]
 	}
@@ -113,7 +116,7 @@ func newEngines(newModel func() csp.Model, cfg Config) ([]csp.Engine, []uint64) 
 	seeds := rng.NewChaoticSeeder(cfg.MasterSeed).Seeds(cfg.Walkers)
 	engines := make([]csp.Engine, cfg.Walkers)
 	for i := range engines {
-		engines[i] = cfg.factoryFor(i)(newModel(), seeds[i])
+		engines[i] = cfg.FactoryFor(i)(newModel(), seeds[i])
 	}
 	return engines, seeds
 }

@@ -170,10 +170,10 @@ func TestConfigDefaults(t *testing.T) {
 func TestConfigRequiresFactory(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("factoryFor on an empty Config did not panic")
+			t.Fatal("FactoryFor on an empty Config did not panic")
 		}
 	}()
-	Config{}.withDefaults().factoryFor(0)
+	Config{}.withDefaults().FactoryFor(0)
 }
 
 func TestResultString(t *testing.T) {
