@@ -29,6 +29,14 @@
 // refuse floods with 429 + Retry-After. /metrics exposes the cache,
 // coalescing and 429 counters plus per-endpoint latency histograms.
 //
+// Overload + tail latency (-max-queue, -hedge): when more than
+// -max-queue requests are already waiting for a worker slot the node
+// sheds load with 503 + Retry-After — batch-class work first,
+// interactive solves only at twice the limit — and /healthz degrades so
+// a fronting coordinator routes around it. In coordinator mode -hedge
+// duplicates a single solve to a second worker after that long without
+// an answer and takes the first verdict.
+//
 // Campaign mode (-data, -join) — durable long-running searches that
 // survive restarts (internal/campaign):
 //
@@ -84,6 +92,8 @@ func main() {
 		rate       = flag.Float64("rate", 0, "per-client rate limit on solve/batch in requests/second (0 = unlimited); over the limit replies 429 + Retry-After")
 		burst      = flag.Int("burst", 0, "rate-limit token-bucket depth (0 = 2×rate)")
 		clientHdr  = flag.String("client-header", "", `request header naming the client for rate limiting (default "X-Client-Key"; clients without it are keyed by remote address)`)
+		maxQueue   = flag.Int("max-queue", 0, "shed load when this many requests are queued for a worker slot: batch-class requests get 503 + Retry-After at the limit, interactive solves at 2x (0 = 16x workers, negative = never shed)")
+		hedge      = flag.Duration("hedge", 0, "coordinator mode: hedge single solves against slow workers — duplicate the solve to the next member after this long without an answer, first verdict wins (0 = no hedging)")
 		dataDir    = flag.String("data", "", "campaign data directory: enables the durable campaign coordinator (/v1/campaigns) backed by append-only logs under this directory, plus an in-process campaign worker")
 		joinURL    = flag.String("join", "", "coordinator base URL (e.g. http://host:8080): run as a dynamic campaign worker registered there")
 		campCap    = flag.Int("campaign-capacity", 1, "concurrent campaign shards this node walks")
@@ -117,7 +127,7 @@ func main() {
 			}
 			members = append(members, backend.NewRemote(node, backend.RemoteConfig{}))
 		}
-		p, err := backend.NewPool(members, backend.PoolConfig{})
+		p, err := backend.NewPool(members, backend.PoolConfig{HedgeAfter: *hedge})
 		if err != nil {
 			log.Fatalf("solverd: -workers %q: %v", *workers, err)
 		}
@@ -145,6 +155,7 @@ func main() {
 		MaxBatchJobs:    *maxBatch,
 		DefaultTimeout:  *timeout,
 		CacheSize:       *cacheSize,
+		MaxQueueDepth:   *maxQueue,
 		RateLimit:       *rate,
 		RateBurst:       *burst,
 		ClientKeyHeader: *clientHdr,

@@ -48,6 +48,7 @@ type Pool struct {
 	cfg      PoolConfig
 	cache    *servecache.Cache // deterministic front cache; nil = disabled
 	inflight []atomic.Int64    // per-member in-flight calls, for least-loaded routing
+	breakers []*breaker        // per-member circuit breakers; nil = disabled
 
 	healthMu  sync.Mutex // guards the probe cache below
 	probedAt  []time.Time
@@ -78,6 +79,25 @@ type PoolConfig struct {
 	// caches (service.Config.CacheSize) already dedupe across
 	// coordinators.
 	CacheSize int
+	// BreakerThreshold is how many consecutive transient call failures
+	// trip a member's circuit breaker (the member then takes no work
+	// until BreakerCooldown passes and a half-open probe call succeeds).
+	// 0 means 3; negative disables breakers. The breaker complements the
+	// health cache: probes catch a dead member, the breaker catches one
+	// that answers probes but fails real work.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// admitting a half-open probe; it doubles on each consecutive
+	// re-trip, capped at 16× this base. 0 means 2s.
+	BreakerCooldown time.Duration
+	// HedgeAfter, when > 0, hedges single solves against slow members:
+	// if the routed member has not answered within this duration, the
+	// same solve is dispatched to the next least-loaded member and the
+	// first verdict wins (the straggler is cancelled). Only whole-route
+	// solves hedge — distributed multi-walk already races shards, and
+	// batches already work-steal. Explicit-seed solves are idempotent
+	// across the duplicate dispatch by construction.
+	HedgeAfter time.Duration
 	// OnRequeue, when non-nil, observes every batch-job requeue caused by
 	// a member failure: job is the batch index, attempts the count so far,
 	// err the member error that killed the chunk. Durable layers hang
@@ -105,12 +125,25 @@ func NewPool(backends []Backend, cfg PoolConfig) (*Pool, error) {
 			cfg.MaxAttempts = 2
 		}
 	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
 	p := &Pool{
 		backends:  backends,
 		cfg:       cfg,
 		inflight:  make([]atomic.Int64, len(backends)),
 		probedAt:  make([]time.Time, len(backends)),
 		probeErrs: make([]error, len(backends)),
+	}
+	if cfg.BreakerThreshold >= 0 {
+		threshold := cfg.BreakerThreshold
+		if threshold == 0 {
+			threshold = 3
+		}
+		p.breakers = make([]*breaker, len(backends))
+		for i := range p.breakers {
+			p.breakers[i] = &breaker{threshold: threshold, cooldown: cfg.BreakerCooldown}
+		}
 	}
 	if cfg.CacheSize > 0 {
 		p.cache = servecache.New(cfg.CacheSize)
@@ -275,32 +308,90 @@ func cloneResult(r core.Result) core.Result {
 	return r
 }
 
-// solveSpecRouted is SolveSpec past the front cache: health-gate, then
-// shard or route.
+// solveSpecRouted is SolveSpec past the front cache: health-gate,
+// breaker-gate, then shard or route.
 func (p *Pool) solveSpecRouted(ctx context.Context, spec string, opts core.Options) (core.Result, error) {
 	up, err := p.healthyMembers(ctx)
+	if err != nil {
+		return core.Result{}, err
+	}
+	up, err = p.breakerCandidates(up)
 	if err != nil {
 		return core.Result{}, err
 	}
 	if opts.Walkers > 1 && !opts.Virtual && len(up) > 1 {
 		return p.solveDistributed(ctx, spec, opts, up)
 	}
+	return p.solveFailover(ctx, spec, opts, up)
+}
+
+type memberOutcome struct {
+	i   int
+	res core.Result
+	err error
+}
+
+// solveFailover routes a whole solve to the least-loaded member, with
+// sequential failover on transient errors (the failing member is
+// marked down and its breaker fed) and, when HedgeAfter is set, a
+// hedged duplicate: if the routed member has not answered in time the
+// solve also goes to the next least-loaded member and the first
+// verdict wins. With hedging off, at most one member runs the solve at
+// a time — bit-identical to plain sequential failover.
+func (p *Pool) solveFailover(ctx context.Context, spec string, opts core.Options, up []int) (core.Result, error) {
+	callCtx, cancel := context.WithCancel(ctx)
+	defer cancel() // stops a straggling hedge once a verdict is in
 	remaining := append([]int(nil), up...)
-	for {
-		i := p.leastLoaded(remaining)
-		for k, v := range remaining {
-			if v == i {
-				remaining = append(remaining[:k], remaining[k+1:]...)
-				break
+	outcomes := make(chan memberOutcome, len(up))
+	launched := 0
+	launch := func() bool {
+		for len(remaining) > 0 {
+			i := p.leastLoaded(remaining)
+			for k, v := range remaining {
+				if v == i {
+					remaining = append(remaining[:k], remaining[k+1:]...)
+					break
+				}
 			}
+			if !p.breakerAcquire(i) {
+				continue // lost a half-open probe race; try the next member
+			}
+			launched++
+			go func(i int) {
+				p.inflight[i].Add(1)
+				res, err := p.backends[i].SolveSpec(callCtx, spec, opts)
+				p.inflight[i].Add(-1)
+				p.recordOutcome(i, err)
+				outcomes <- memberOutcome{i: i, res: res, err: err}
+			}(i)
+			return true
 		}
-		p.inflight[i].Add(1)
-		res, err := p.backends[i].SolveSpec(ctx, spec, opts)
-		p.inflight[i].Add(-1)
-		if err == nil || !transientErr(err) || len(remaining) == 0 || ctx.Err() != nil {
-			return res, err
+		return false
+	}
+	if !launch() {
+		return core.Result{}, fmt.Errorf("backend: every member of %s has an open circuit breaker", p.Name())
+	}
+	var hedge <-chan time.Time
+	if p.cfg.HedgeAfter > 0 && len(remaining) > 0 {
+		hedge = time.After(p.cfg.HedgeAfter)
+	}
+	var last memberOutcome
+	for {
+		select {
+		case oc := <-outcomes:
+			launched--
+			if oc.err == nil || !transientErr(oc.err) || ctx.Err() != nil {
+				return oc.res, oc.err
+			}
+			p.markDown(oc.i, oc.err)
+			last = oc
+			if launched == 0 && !launch() {
+				return last.res, last.err
+			}
+		case <-hedge:
+			hedge = nil
+			launch() // best-effort duplicate; first verdict still wins
 		}
-		p.markDown(i, err)
 	}
 }
 
@@ -351,6 +442,19 @@ func (p *Pool) splitWalkers(w int, up []int) ([]int, []int) {
 // (shards concatenated in member order) and sums the parallel work.
 func (p *Pool) solveDistributed(ctx context.Context, spec string, opts core.Options, up []int) (core.Result, error) {
 	start := time.Now()
+	if p.breakers != nil {
+		now := time.Now()
+		admitted := make([]int, 0, len(up))
+		for _, i := range up {
+			if p.breakers[i].acquire(now) {
+				admitted = append(admitted, i)
+			}
+		}
+		if len(admitted) == 0 {
+			return core.Result{}, fmt.Errorf("backend: every member of %s has an open circuit breaker", p.Name())
+		}
+		up = admitted
+	}
 	shares, up := p.splitWalkers(opts.Walkers, up)
 	shardSeeds := core.DeriveSeeds(opts.Seed, len(up))
 
@@ -377,6 +481,7 @@ func (p *Pool) solveDistributed(ctx context.Context, spec string, opts core.Opti
 			p.inflight[i].Add(1)
 			res, err := p.backends[i].SolveSpec(raceCtx, spec, so)
 			p.inflight[i].Add(-1)
+			p.recordOutcome(i, err)
 			outcomes[k] = shardOutcome{res: res, err: err}
 			if err == nil && res.Solved {
 				mu.Lock()
@@ -534,6 +639,10 @@ func (p *Pool) SolveBatch(ctx context.Context, jobs []core.BatchJob, opts core.B
 	if err != nil {
 		return core.BatchResult{}, err
 	}
+	up, err = p.breakerCandidates(up)
+	if err != nil {
+		return core.BatchResult{}, err
+	}
 
 	seeds := core.DeriveSeeds(opts.MasterSeed, len(jobs))
 	shipped := make([]core.BatchJob, len(jobs))
@@ -565,6 +674,9 @@ func (p *Pool) SolveBatch(ctx context.Context, jobs []core.BatchJob, opts core.B
 
 	var wg sync.WaitGroup
 	for _, i := range up {
+		if !p.breakerAcquire(i) {
+			continue // lost a half-open probe race; the survivors cover
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
@@ -591,6 +703,7 @@ func (p *Pool) SolveBatch(ctx context.Context, jobs []core.BatchJob, opts core.B
 				if err == nil && len(br.Jobs) != len(chunk) {
 					err = fmt.Errorf("backend: %s returned %d results for a %d-job chunk", be.Name(), len(br.Jobs), len(chunk))
 				}
+				p.recordOutcome(i, err)
 				st.settle(chunk, br.Jobs, err, p.cfg.MaxAttempts, p.cfg.OnRequeue)
 				if err != nil {
 					// This member is dropped for the rest of the batch

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -59,6 +60,13 @@ type RemoteConfig struct {
 	// Backoff is the initial retry backoff, doubled per attempt; 0 means
 	// 50ms.
 	Backoff time.Duration
+	// Jitter draws the random part of each retry wait: the actual pause
+	// is backoff/2 plus Jitter(backoff/2) — "equal jitter", so a fleet
+	// of coordinators tripped by the same member outage spreads its
+	// retries across half the backoff window instead of stampeding back
+	// in lockstep. nil uses math/rand; the server's Retry-After hint
+	// remains the floor regardless of the draw.
+	Jitter func(max time.Duration) time.Duration
 	// Capacity overrides the capacity hint; 0 learns it from the node's
 	// /healthz "workers" field on the first health probe.
 	Capacity int
@@ -79,6 +87,14 @@ func NewRemote(addr string, cfg RemoteConfig) *Remote {
 	}
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 50 * time.Millisecond
+	}
+	if cfg.Jitter == nil {
+		cfg.Jitter = func(max time.Duration) time.Duration {
+			if max <= 0 {
+				return 0
+			}
+			return time.Duration(rand.Int64N(int64(max) + 1))
+		}
 	}
 	return &Remote{base: base, cfg: cfg}
 }
@@ -275,15 +291,21 @@ func parseRetryAfter(v string) time.Duration {
 }
 
 // retryWait resolves the pause before the next attempt: the exponential
-// backoff, floored by the server's Retry-After hint when the failure
-// carried one — retrying a rate-limited node before the interval it
-// asked for just earns another 429 and burns an attempt.
-func retryWait(backoff time.Duration, err error) time.Duration {
+// backoff — jittered into [backoff/2, backoff] when a jitter source is
+// given, so synchronized clients desynchronize — floored by the
+// server's Retry-After hint when the failure carried one: retrying a
+// rate-limited node before the interval it asked for just earns
+// another 429 and burns an attempt.
+func retryWait(backoff time.Duration, err error, jitter func(time.Duration) time.Duration) time.Duration {
+	wait := backoff
+	if jitter != nil && backoff > 0 {
+		wait = backoff/2 + jitter(backoff/2)
+	}
 	var re *RemoteError
-	if errors.As(err, &re) && re.RetryAfter > backoff {
+	if errors.As(err, &re) && re.RetryAfter > wait {
 		return re.RetryAfter
 	}
-	return backoff
+	return wait
 }
 
 // call is post with the retry policy: transient failures back off
@@ -303,7 +325,7 @@ func (r *Remote) call(ctx context.Context, path string, body, out any) error {
 		select {
 		case <-ctx.Done():
 			return err
-		case <-time.After(retryWait(backoff, err)):
+		case <-time.After(retryWait(backoff, err, r.cfg.Jitter)):
 		}
 		backoff *= 2
 	}

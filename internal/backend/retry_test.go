@@ -46,8 +46,35 @@ func TestRetryWaitHonorsRetryAfterFloor(t *testing.T) {
 		{30 * time.Millisecond, errors.New("conn refused"), 30 * time.Millisecond},
 	}
 	for i, c := range cases {
-		if got := retryWait(c.backoff, c.err); got != c.want {
+		if got := retryWait(c.backoff, c.err, nil); got != c.want {
 			t.Errorf("case %d: retryWait(%v, %v) = %v, want %v", i, c.backoff, c.err, got, c.want)
+		}
+	}
+}
+
+// TestRetryWaitJitter: with a jitter source the wait lands in
+// [backoff/2, backoff] (anti-thundering-herd), and the server's
+// Retry-After hint still floors whatever the draw produced.
+func TestRetryWaitJitter(t *testing.T) {
+	backoff := 100 * time.Millisecond
+	err := &RemoteError{Status: 503}
+	low := func(time.Duration) time.Duration { return 0 }
+	high := func(max time.Duration) time.Duration { return max }
+	if got := retryWait(backoff, err, low); got != backoff/2 {
+		t.Fatalf("low draw: %v, want %v", got, backoff/2)
+	}
+	if got := retryWait(backoff, err, high); got != backoff {
+		t.Fatalf("high draw: %v, want %v", got, backoff)
+	}
+	hinted := &RemoteError{Status: 429, RetryAfter: time.Second}
+	if got := retryWait(backoff, hinted, low); got != time.Second {
+		t.Fatalf("Retry-After floor lost under jitter: %v", got)
+	}
+	// The default source (NewRemote's) stays within the window too.
+	r := NewRemote("localhost:1", RemoteConfig{})
+	for i := 0; i < 100; i++ {
+		if got := retryWait(backoff, err, r.cfg.Jitter); got < backoff/2 || got > backoff {
+			t.Fatalf("default jitter draw %v outside [%v, %v]", got, backoff/2, backoff)
 		}
 	}
 }

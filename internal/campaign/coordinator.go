@@ -73,6 +73,16 @@ type CoordinatorConfig struct {
 	// reassigned (with the attempt persisted). Default 15s.
 	LeaseTTL time.Duration
 
+	// MaxClockJump bounds the clock step the coordinator attributes to
+	// real time passing. When consecutive expiry scans observe Now()
+	// move by more than this — an NTP step, a suspended VM, a stalled
+	// process — the gap is treated as a clock anomaly rather than
+	// worker silence: every live lease is re-armed for one fresh TTL
+	// instead of mass-expiring the fleet and thrashing shard
+	// assignments. Genuinely dead workers still expire, one TTL after
+	// the anomaly. Default 2×LeaseTTL; negative disables detection.
+	MaxClockJump time.Duration
+
 	// Now overrides the clock (tests). Default time.Now.
 	Now func() time.Time
 }
@@ -97,14 +107,17 @@ type CoordinatorConfig struct {
 // no search progress at all; a worker death costs at most one snapshot
 // interval of its shards' work.
 type Coordinator struct {
-	store *Store
-	ttl   time.Duration
-	now   func() time.Time
+	store   *Store
+	ttl     time.Duration
+	maxJump time.Duration
+	now     func() time.Time
 
-	mu       sync.Mutex
-	members  map[string]*member
-	assigned map[ShardRef]string // shard → owning worker ID
-	pending  map[ShardRef]bool   // runnable, unassigned shards
+	mu         sync.Mutex
+	members    map[string]*member
+	assigned   map[ShardRef]string // shard → owning worker ID
+	pending    map[ShardRef]bool   // runnable, unassigned shards
+	lastTick   time.Time           // Now() at the previous expiry scan
+	skewEvents int                 // clock anomalies absorbed
 }
 
 type member struct {
@@ -124,12 +137,16 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = 15 * time.Second
 	}
+	if cfg.MaxClockJump == 0 {
+		cfg.MaxClockJump = 2 * cfg.LeaseTTL
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
 	c := &Coordinator{
 		store:    cfg.Store,
 		ttl:      cfg.LeaseTTL,
+		maxJump:  cfg.MaxClockJump,
 		now:      cfg.Now,
 		members:  make(map[string]*member),
 		assigned: make(map[ShardRef]string),
@@ -278,7 +295,25 @@ func (c *Coordinator) touchLocked(id string, capacity int) *member {
 // expireLocked retires members whose lease lapsed: their shards go back
 // to pending and the attempt is persisted — the durable trail the issue
 // calls "persists attempt state".
+//
+// Before expiring anyone it checks the clock itself: a step larger
+// than MaxClockJump since the previous scan (in either direction)
+// cannot be explained by heartbeat cadence, so it is absorbed by
+// re-arming every live lease rather than punishing workers for the
+// coordinator's clock.
 func (c *Coordinator) expireLocked(now time.Time) {
+	if c.maxJump > 0 && !c.lastTick.IsZero() {
+		if jump := now.Sub(c.lastTick); jump > c.maxJump || jump < -c.maxJump {
+			fresh := now.Add(c.ttl)
+			for _, m := range c.members {
+				if m.expires.Before(fresh) {
+					m.expires = fresh
+				}
+			}
+			c.skewEvents++
+		}
+	}
+	c.lastTick = now
 	for id, m := range c.members {
 		if now.Before(m.expires) {
 			continue
@@ -301,6 +336,14 @@ func (c *Coordinator) expireLocked(now time.Time) {
 			c.pending[ref] = true
 		}
 	}
+}
+
+// SkewEvents reports how many clock anomalies (Now() steps larger than
+// MaxClockJump between expiry scans) the coordinator has absorbed.
+func (c *Coordinator) SkewEvents() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.skewEvents
 }
 
 // Heartbeat implements Control: lease renewal, report ingestion,

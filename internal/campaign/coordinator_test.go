@@ -221,6 +221,51 @@ func TestCoordinatorDeadline(t *testing.T) {
 	}
 }
 
+// TestCoordinatorClockJumpTolerance: a clock step far beyond heartbeat
+// cadence (NTP step, suspended VM) must not mass-expire the fleet —
+// live leases are re-armed for one fresh TTL, and a worker that stays
+// silent through that fresh TTL still expires.
+func TestCoordinatorClockJumpTolerance(t *testing.T) {
+	clock := newFakeClock()
+	coord, store := newTestCoordinator(t, t.TempDir(), clock)
+	spec, err := coord.Create(Spec{RunSpec: "costas n=16", Shards: 2, Walkers: 1, SnapshotIters: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := heartbeat(t, coord, HeartbeatRequest{WorkerID: "w1", Capacity: 2})
+	if len(resp.Assign) != 2 {
+		t.Fatalf("w1 got %d assignments, want 2", len(resp.Assign))
+	}
+
+	// The clock leaps 10×TTL — far past MaxClockJump (2×TTL). w1's
+	// shards must NOT be reassigned to w2.
+	clock.Advance(10 * time.Second)
+	resp = heartbeat(t, coord, HeartbeatRequest{WorkerID: "w2", Capacity: 2})
+	if len(resp.Assign) != 0 {
+		t.Fatalf("clock jump mass-expired w1: w2 got %+v", resp.Assign)
+	}
+	if got := coord.SkewEvents(); got != 1 {
+		t.Fatalf("SkewEvents = %d, want 1", got)
+	}
+	if got := store.Attempts(spec.ID, 0); got != 0 {
+		t.Fatalf("attempts = %d, want 0 — anomaly must not burn an attempt", got)
+	}
+
+	// w1 stays silent through the re-armed TTL (advanced in steps small
+	// enough to not look like further anomalies) → it genuinely expires
+	// and w2 inherits the shards.
+	for i := 0; i < 3; i++ {
+		clock.Advance(600 * time.Millisecond)
+		resp = heartbeat(t, coord, HeartbeatRequest{WorkerID: "w2", Capacity: 2})
+	}
+	if len(resp.Assign) != 2 {
+		t.Fatalf("silent w1 never expired after the grace TTL: %+v", resp.Assign)
+	}
+	if got := store.Attempts(spec.ID, 0); got != 1 {
+		t.Fatalf("attempts = %d, want 1 after real expiry", got)
+	}
+}
+
 // TestWorkerSolvesInProcess drives the full loop — coordinator, worker,
 // shard runner, store — on an easy instance until the campaign solves.
 func TestWorkerSolvesInProcess(t *testing.T) {

@@ -1,0 +1,438 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/vfs"
+)
+
+// Draw order reminder for the scripts below: every acknowledged append
+// is one Write draw then one Sync draw from the Files site; Create
+// additionally draws once from the Dirs site (the directory fsync); a
+// compaction is one Write draw (the final buffered flush) and one Sync
+// draw per chunk, here always a single chunk.
+
+func faultStore(t *testing.T, dir string, files, dirs []faultinject.Kind) *Store {
+	t.Helper()
+	ffs := &faultinject.FS{Inner: vfs.OS{}}
+	if files != nil {
+		ffs.Files = faultinject.NewPlan(1).Site("files", faultinject.SiteConfig{Script: files})
+	}
+	if dirs != nil {
+		ffs.Dirs = faultinject.NewPlan(2).Site("dirs", faultinject.SiteConfig{Script: dirs})
+	}
+	s, err := OpenFS(dir, ffs, StoreOptions{})
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func logSize(t *testing.T, dir, id string) int64 {
+	t.Helper()
+	fi, err := os.Stat(filepath.Join(dir, id+logSuffix))
+	if err != nil {
+		t.Fatalf("stat log: %v", err)
+	}
+	return fi.Size()
+}
+
+// TestStoreRollbackOnWriteError: an append whose write fails outright
+// must fail loudly, leave the view untouched, and leave the log exactly
+// as it was — and the store must keep working afterwards.
+func TestStoreRollbackOnWriteError(t *testing.T) {
+	dir := t.TempDir()
+	s := faultStore(t, dir, []faultinject.Kind{faultinject.None, faultinject.None, faultinject.WriteErr}, nil)
+	if err := s.Create(testSpec("c1")); err != nil {
+		t.Fatal(err)
+	}
+	before := logSize(t, dir, "c1")
+
+	err := s.PutCheckpoint(testCheckpoint("c1", 0, 1))
+	if err == nil || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO, got %v", err)
+	}
+	if got := s.LatestEpoch("c1", 0); got != 0 {
+		t.Fatalf("view mutated by failed append: epoch %d", got)
+	}
+	if got := logSize(t, dir, "c1"); got != before {
+		t.Fatalf("log grew across a failed append: %d → %d", before, got)
+	}
+
+	// Past the scripted fault the same mutation goes through.
+	if err := s.PutCheckpoint(testCheckpoint("c1", 0, 1)); err != nil {
+		t.Fatalf("retry after write error: %v", err)
+	}
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.LatestEpoch("c1", 0); got != 1 {
+		t.Fatalf("replay after recovery: epoch %d, want 1", got)
+	}
+}
+
+// TestStoreRollbackOnShortWrite: a torn write (prefix persisted, then
+// error) is truncated back to the last durable offset, so the log never
+// carries a mid-file torn record.
+func TestStoreRollbackOnShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	s := faultStore(t, dir, []faultinject.Kind{faultinject.None, faultinject.None, faultinject.ShortWrite}, nil)
+	if err := s.Create(testSpec("c1")); err != nil {
+		t.Fatal(err)
+	}
+	before := logSize(t, dir, "c1")
+
+	if err := s.PutCheckpoint(testCheckpoint("c1", 0, 1)); err == nil {
+		t.Fatal("short write must surface an error")
+	}
+	if got := logSize(t, dir, "c1"); got != before {
+		t.Fatalf("torn bytes left on disk: %d → %d", before, got)
+	}
+	if err := s.PutCheckpoint(testCheckpoint("c1", 0, 2)); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.LatestEpoch("c1", 0); got != 2 {
+		t.Fatalf("replay: epoch %d, want 2", got)
+	}
+	if got := len(s2.History("c1")); got != 1 {
+		t.Fatalf("history %d records, want 1 (torn record must not replay)", got)
+	}
+}
+
+// TestStoreRollbackOnSyncError: a write that lands but whose fsync
+// fails is NOT acknowledged — the bytes are rolled back, because "maybe
+// durable" is the same as "not durable" to the replay contract.
+func TestStoreRollbackOnSyncError(t *testing.T) {
+	dir := t.TempDir()
+	s := faultStore(t, dir, []faultinject.Kind{
+		faultinject.None, faultinject.None, // create
+		faultinject.None, faultinject.SyncErr, // checkpoint: write ok, fsync fails
+	}, nil)
+	if err := s.Create(testSpec("c1")); err != nil {
+		t.Fatal(err)
+	}
+	before := logSize(t, dir, "c1")
+
+	err := s.PutCheckpoint(testCheckpoint("c1", 0, 1))
+	if err == nil || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO from fsync, got %v", err)
+	}
+	if got := logSize(t, dir, "c1"); got != before {
+		t.Fatalf("unacknowledged bytes kept: %d → %d", before, got)
+	}
+	if got := s.LatestEpoch("c1", 0); got != 0 {
+		t.Fatalf("view mutated: epoch %d", got)
+	}
+	if err := s.PutCheckpoint(testCheckpoint("c1", 0, 1)); err != nil {
+		t.Fatalf("append after sync-error rollback: %v", err)
+	}
+}
+
+// TestStoreENOSPCCompactsAndRetries: a full disk triggers one
+// compaction (dropping superseded checkpoints) and a retry, so the
+// append succeeds without the caller seeing ENOSPC.
+func TestStoreENOSPCCompactsAndRetries(t *testing.T) {
+	dir := t.TempDir()
+	s := faultStore(t, dir, []faultinject.Kind{
+		faultinject.None, faultinject.None, // create
+		faultinject.None, faultinject.None, // epoch 1
+		faultinject.None, faultinject.None, // epoch 2
+		faultinject.None, faultinject.None, // epoch 3
+		faultinject.NoSpace, // epoch 4 first try: disk full
+		// compaction (one chunk: write+sync) and the retry then draw None.
+	}, nil)
+	if err := s.Create(testSpec("c1")); err != nil {
+		t.Fatal(err)
+	}
+	for epoch := int64(1); epoch <= 3; epoch++ {
+		if err := s.PutCheckpoint(testCheckpoint("c1", 0, epoch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.PutCheckpoint(testCheckpoint("c1", 0, 4)); err != nil {
+		t.Fatalf("append across ENOSPC: %v", err)
+	}
+	if got := s.LatestEpoch("c1", 0); got != 4 {
+		t.Fatalf("epoch %d, want 4", got)
+	}
+	// History collapsing to {latest-at-compaction, the retried record}
+	// proves the compaction actually ran.
+	if got := len(s.History("c1")); got != 2 {
+		t.Fatalf("history %d records, want 2 after ENOSPC-triggered compaction", got)
+	}
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen compacted log: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.LatestEpoch("c1", 0); got != 4 {
+		t.Fatalf("replay: epoch %d, want 4", got)
+	}
+}
+
+// TestStoreCreateFsyncsDirectory: Create's directory fsync is on the
+// acknowledgement path — if it fails, Create fails and the campaign is
+// not registered.
+func TestStoreCreateFsyncsDirectory(t *testing.T) {
+	dir := t.TempDir()
+	s := faultStore(t, dir, nil, []faultinject.Kind{faultinject.SyncErr})
+	err := s.Create(testSpec("c1"))
+	if err == nil || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO from directory fsync, got %v", err)
+	}
+	if _, ok := s.Spec("c1"); ok {
+		t.Fatal("campaign registered despite unacknowledged create")
+	}
+	// The next attempt (dir fsync healthy again) succeeds.
+	if err := s.Create(testSpec("c1")); err != nil {
+		t.Fatalf("create after dir-fsync failure: %v", err)
+	}
+}
+
+// TestStoreCompactRoundTrip: compaction preserves the live view
+// (spec, latest checkpoints, attempts, terminal state), shrinks the
+// log, and the compacted log replays identically after a reopen.
+func TestStoreCompactRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(testSpec("c1")); err != nil {
+		t.Fatal(err)
+	}
+	for epoch := int64(1); epoch <= 10; epoch++ {
+		for shard := 0; shard < 2; shard++ {
+			if err := s.PutCheckpoint(testCheckpoint("c1", shard, epoch)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.PutAttempt("c1", AttemptRecord{Shard: 1, Worker: "w1", Attempts: 2, Reason: "lease expired"}); err != nil {
+		t.Fatal(err)
+	}
+	sol := Solution{CampaignID: "c1", Shard: 0, Walker: 1, Epoch: 10, Iterations: 2560, Config: []int{0, 2, 1}}
+	if err := s.PutState("c1", StateSolved, "", &sol); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := s.LogSize("c1")
+	stBefore, _ := s.Status("c1")
+
+	if err := s.Compact("c1"); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after, _ := s.LogSize("c1")
+	if after >= before {
+		t.Fatalf("compaction did not shrink the log: %d → %d", before, after)
+	}
+	stAfter, _ := s.Status("c1")
+	stBefore.Checkpoints = 0 // history legitimately collapses
+	stAfter.Checkpoints = 0
+	if !statusEqual(stBefore, stAfter) {
+		t.Fatalf("view changed across compaction:\nbefore %+v\nafter  %+v", stBefore, stAfter)
+	}
+	// And the log remains appendable after the handle swap.
+	if err := s.PutAttempt("c1", AttemptRecord{Shard: 0, Worker: "w2", Attempts: 1}); err != nil {
+		t.Fatalf("append after compaction: %v", err)
+	}
+	stAfter, _ = s.Status("c1")
+	stAfter.Checkpoints = 0
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen compacted log: %v", err)
+	}
+	defer s2.Close()
+	stReplayed, ok := s2.Status("c1")
+	if !ok {
+		t.Fatal("campaign lost across compaction+reopen")
+	}
+	stReplayed.Checkpoints = 0
+	if !statusEqual(stAfter, stReplayed) {
+		t.Fatalf("replayed view differs:\nlive     %+v\nreplayed %+v", stAfter, stReplayed)
+	}
+}
+
+func statusEqual(a, b Status) bool {
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	return bytes.Equal(aj, bj)
+}
+
+// TestStoreCompactCrashScratchIgnored: a compaction that died before
+// its rename leaves a scratch file; Open removes it and replays the
+// intact old log.
+func TestStoreCompactCrashScratchIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(testSpec("c1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCheckpoint(testCheckpoint("c1", 0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	scratch := filepath.Join(dir, "c1"+logSuffix+tmpSuffix)
+	if err := os.WriteFile(scratch, []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open with stale scratch file: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.LatestEpoch("c1", 0); got != 3 {
+		t.Fatalf("epoch %d, want 3", got)
+	}
+	if _, err := os.Stat(scratch); !os.IsNotExist(err) {
+		t.Fatalf("scratch file not cleaned up: %v", err)
+	}
+}
+
+// TestStoreAutoCompaction: past CompactBytes the log self-compacts, but
+// not again until it doubles — so an irreducibly large log is not
+// rewritten on every append.
+func TestStoreAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFS(dir, vfs.OS{}, StoreOptions{CompactBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Create(testSpec("c1")); err != nil {
+		t.Fatal(err)
+	}
+	// First append exceeds the (absurdly low) threshold → compacts.
+	if err := s.PutCheckpoint(testCheckpoint("c1", 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.History("c1")); got != 1 {
+		t.Fatalf("history %d, want 1 after auto-compaction", got)
+	}
+	// One more append cannot double the log, so the guard must hold.
+	if err := s.PutCheckpoint(testCheckpoint("c1", 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.History("c1")); got != 2 {
+		t.Fatalf("history %d, want 2 — recompacted below the 2x guard", got)
+	}
+}
+
+// FuzzStoreDamagedLog fuzzes the replay contract over arbitrary
+// truncation and single-byte corruption of a real log: damage confined
+// to the final line costs at most that one record; damage anywhere
+// earlier must fail Open loudly. The oracle re-derives the expectation
+// from the damaged bytes with an independent line scan.
+func FuzzStoreDamagedLog(f *testing.F) {
+	// Build one reference log via the real store.
+	refDir := f.TempDir()
+	s, err := Open(refDir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := s.Create(testSpec("c1")); err != nil {
+		f.Fatal(err)
+	}
+	for epoch := int64(1); epoch <= 4; epoch++ {
+		if err := s.PutCheckpoint(testCheckpoint("c1", 0, epoch)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	s.Close()
+	ref, err := os.ReadFile(filepath.Join(refDir, "c1"+logSuffix))
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(uint16(0), false)
+	f.Add(uint16(len(ref)-3), false)
+	f.Add(uint16(10), true)
+	f.Add(uint16(len(ref)/2), true)
+
+	f.Fuzz(func(t *testing.T, pos uint16, corrupt bool) {
+		data := append([]byte(nil), ref...)
+		p := int(pos) % len(data)
+		if corrupt {
+			data[p] = 0x00 // NUL never parses as part of a JSON record
+		} else {
+			data = data[:p]
+		}
+
+		// Independent oracle: split into lines, find the first non-empty
+		// line that fails to parse. Only a bad FINAL line is tolerable.
+		lines := bytes.Split(data, []byte("\n"))
+		type parsed struct {
+			line []byte
+			ok   bool
+		}
+		var ps []parsed
+		for _, ln := range lines {
+			if len(ln) == 0 {
+				continue
+			}
+			var rec record
+			ps = append(ps, parsed{ln, json.Unmarshal(ln, &rec) == nil})
+		}
+		wantOpen := true
+		goodPrefix := 0
+		for i, p := range ps {
+			if p.ok {
+				goodPrefix++
+				continue
+			}
+			if i != len(ps)-1 {
+				wantOpen = false // mid-file corruption
+			}
+			break
+		}
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "c1"+logSuffix), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir)
+		if wantOpen != (err == nil) {
+			t.Fatalf("Open err=%v, want success=%v (pos=%d corrupt=%v, %d good of %d lines)",
+				err, wantOpen, p, corrupt, goodPrefix, len(ps))
+		}
+		if err != nil {
+			return
+		}
+		defer s2.Close()
+		if goodPrefix == 0 {
+			// Even the create record never made it: the died-during-create
+			// remnant. The store opens, the campaign does not exist.
+			if _, ok := s2.Status("c1"); ok {
+				t.Fatalf("campaign resurrected from a createless log (pos=%d corrupt=%v)", p, corrupt)
+			}
+			return
+		}
+		// ≤1 record lost, and exactly the torn one: the replayed view must
+		// match the good-line prefix (create + goodPrefix-1 checkpoints).
+		if got := s2.LatestEpoch("c1", 0); got != int64(goodPrefix-1) {
+			t.Fatalf("epoch %d, want %d (pos=%d corrupt=%v)", got, goodPrefix-1, p, corrupt)
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package faultinject
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is wall-clock chaos: a Now() whose offset from the inner clock
+// steps by Decision.Skew whenever its Site schedules a ClockSkew fault.
+// Each Now() call draws one decision, so the skew sequence (which calls
+// jump, and by how much) is deterministic from the plan seed even
+// though the absolute times are real. Plug it into
+// campaign.CoordinatorConfig.Now to model a coordinator whose NTP steps
+// under it.
+type Clock struct {
+	Inner func() time.Time // nil means time.Now
+	Site  *Site
+
+	mu     sync.Mutex
+	offset time.Duration
+}
+
+// Now returns the skewed time, advancing the schedule by one decision.
+func (c *Clock) Now() time.Time {
+	now := time.Now
+	if c.Inner != nil {
+		now = c.Inner
+	}
+	if c.Site == nil {
+		return now()
+	}
+	d := c.Site.Next()
+	c.mu.Lock()
+	if d.Kind == ClockSkew {
+		c.offset += d.Skew
+	}
+	off := c.offset
+	c.mu.Unlock()
+	return now().Add(off)
+}
+
+// Offset reports the accumulated skew.
+func (c *Clock) Offset() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.offset
+}

@@ -1,0 +1,269 @@
+// Package faultinject is a seedable, deterministic fault injector for
+// the distributed layer: every failure mode the fleet must survive —
+// injected latency, connection resets, 5xx replies, truncated or
+// corrupted JSON bodies, failed/short writes, fsync errors, ENOSPC,
+// clock skew — expressed as a reproducible schedule that replays
+// bit-identically from its seed.
+//
+// The core abstraction is a Plan of named Sites. A Site is one
+// interception point (a member's HTTP transport, the campaign store's
+// file writes, the coordinator's clock); each Site owns an independent
+// decision stream derived purely from (plan seed, site name, operation
+// index). Decision k at a site is a pure function — no shared mutable
+// RNG — so concurrent sites never perturb each other's schedules, and a
+// chaos run's fault sequence per site is identical run over run for a
+// fixed seed regardless of goroutine interleaving. (Which *request*
+// meets fault k can still race when a site is hit concurrently; the
+// schedule itself cannot.)
+//
+// Adapters turn decisions into faults:
+//
+//   - Transport (http.go): an http.RoundTripper middleware for
+//     client-side chaos — delays, resets after the server did the work,
+//     synthesized 5xx, damaged response bodies;
+//   - Handler (http.go): the server-side equivalent;
+//   - FS (fs.go): a vfs.FS for the durability layer — failed and short
+//     writes, fsync errors, ENOSPC;
+//   - Clock (clock.go): a wall clock with scheduled skew steps.
+//
+// Sites can also run a scripted sequence (SiteConfig.Script) instead of
+// a probabilistic one, which is what the per-fault-class recovery tests
+// use to aim exactly one fault at exactly one operation.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind uint8
+
+const (
+	// None performs the operation untouched.
+	None Kind = iota
+	// Latency delays the operation by Decision.Latency.
+	Latency
+	// ConnReset completes the operation server-side but makes the reply
+	// vanish in a connection reset — the "work done, answer lost" case
+	// retries must be idempotent against.
+	ConnReset
+	// Status5xx answers with Decision.Status (502/503/...) without
+	// reaching the server.
+	Status5xx
+	// TruncateBody cuts the response body short mid-JSON.
+	TruncateBody
+	// CorruptBody damages one byte of the response body so it no longer
+	// parses.
+	CorruptBody
+	// WriteErr fails a file write outright (EIO), writing nothing.
+	WriteErr
+	// ShortWrite persists only part of the buffer, then fails — the torn
+	// tail generator.
+	ShortWrite
+	// SyncErr lets the write through but fails the fsync.
+	SyncErr
+	// NoSpace fails the operation with ENOSPC.
+	NoSpace
+	// ClockSkew steps the observed clock by Decision.Skew.
+	ClockSkew
+)
+
+var kindNames = map[Kind]string{
+	None: "none", Latency: "latency", ConnReset: "conn-reset",
+	Status5xx: "status-5xx", TruncateBody: "truncate-body",
+	CorruptBody: "corrupt-body", WriteErr: "write-err",
+	ShortWrite: "short-write", SyncErr: "sync-err", NoSpace: "enospc",
+	ClockSkew: "clock-skew",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Decision is one scheduled fault (or None) for one operation at a site.
+type Decision struct {
+	Kind Kind
+	// Latency is the injected delay (Latency faults).
+	Latency time.Duration
+	// Status is the synthesized HTTP status (Status5xx faults).
+	Status int
+	// Frac parameterizes body damage: the fraction of the body kept
+	// (TruncateBody) or the relative position of the damaged byte
+	// (CorruptBody), and the fraction persisted by a ShortWrite.
+	Frac float64
+	// Skew is the clock step (ClockSkew faults).
+	Skew time.Duration
+	// Op is the zero-based operation index at the site.
+	Op uint64
+}
+
+// SiteConfig parameterizes one site's schedule. The zero value injects
+// nothing.
+type SiteConfig struct {
+	// Rates maps fault kinds to per-operation probabilities. The sum
+	// must be ≤ 1; the remainder is the probability of None.
+	Rates map[Kind]float64
+	// Script, when non-empty, overrides Rates: operation k receives
+	// Script[k] (with parameters still drawn from the deterministic
+	// stream), and every operation past the script's end is untouched.
+	Script []Kind
+
+	// MinLatency/MaxLatency bound injected delays. Defaults 1ms/20ms.
+	MinLatency, MaxLatency time.Duration
+	// Statuses are the candidate 5xx replies. Default {500, 502, 503, 504}.
+	Statuses []int
+	// MinSkew/MaxSkew bound clock steps. Defaults -2s/+2s.
+	MinSkew, MaxSkew time.Duration
+}
+
+func (c SiteConfig) withDefaults() SiteConfig {
+	if c.MinLatency == 0 && c.MaxLatency == 0 {
+		c.MinLatency, c.MaxLatency = time.Millisecond, 20*time.Millisecond
+	}
+	if c.MaxLatency < c.MinLatency {
+		c.MaxLatency = c.MinLatency
+	}
+	if len(c.Statuses) == 0 {
+		c.Statuses = []int{500, 502, 503, 504}
+	}
+	if c.MinSkew == 0 && c.MaxSkew == 0 {
+		c.MinSkew, c.MaxSkew = -2*time.Second, 2*time.Second
+	}
+	return c
+}
+
+// Plan is a seeded chaos schedule: a namespace of Sites whose decision
+// streams all derive from one seed. Two Plans with the same seed produce
+// identical schedules at identically named sites.
+type Plan struct {
+	seed uint64
+
+	mu    sync.Mutex
+	sites map[string]*Site
+}
+
+// NewPlan returns a Plan for the given seed.
+func NewPlan(seed uint64) *Plan {
+	return &Plan{seed: seed, sites: make(map[string]*Site)}
+}
+
+// Seed returns the plan's seed — echo it in logs so any chaos failure is
+// replayable.
+func (p *Plan) Seed() uint64 { return p.seed }
+
+// Site creates (or returns) the named interception point. The first call
+// for a name fixes its configuration; later calls return the same Site
+// and ignore cfg.
+func (p *Plan) Site(name string, cfg SiteConfig) *Site {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s, ok := p.sites[name]; ok {
+		return s
+	}
+	s := newSite(p.seed, name, cfg)
+	p.sites[name] = s
+	return s
+}
+
+// Site is one interception point with its own deterministic decision
+// stream. Safe for concurrent use.
+type Site struct {
+	name string
+	base uint64 // mixes the plan seed with the site name
+	cfg  SiteConfig
+	cum  []kindCum // cumulative Rates in fixed kind order
+	n    atomic.Uint64
+}
+
+type kindCum struct {
+	kind Kind
+	cum  float64
+}
+
+func newSite(seed uint64, name string, cfg SiteConfig) *Site {
+	cfg = cfg.withDefaults()
+	// Fold the site name into the seed (FNV-1a), then harden the mix so
+	// nearby (seed, name) pairs yield decorrelated streams.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	base := seed ^ h
+	base = rng.SplitMix64(&base)
+
+	kinds := make([]Kind, 0, len(cfg.Rates))
+	for k := range cfg.Rates {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	var cum []kindCum
+	total := 0.0
+	for _, k := range kinds {
+		if cfg.Rates[k] <= 0 {
+			continue
+		}
+		total += cfg.Rates[k]
+		cum = append(cum, kindCum{kind: k, cum: total})
+	}
+	if total > 1 {
+		panic(fmt.Sprintf("faultinject: site %q rates sum to %.3f > 1", name, total))
+	}
+	return &Site{name: name, base: base, cfg: cfg, cum: cum}
+}
+
+// Name returns the site's name.
+func (s *Site) Name() string { return s.name }
+
+// Count returns how many operations have drawn a decision so far.
+func (s *Site) Count() uint64 { return s.n.Load() }
+
+// Next draws the decision for the site's next operation.
+func (s *Site) Next() Decision { return s.At(s.n.Add(1) - 1) }
+
+// At computes the decision for operation k — a pure function of the
+// plan seed, the site name and k, which is what makes schedules replay
+// bit-identically and lets tests enumerate a schedule without running
+// it.
+func (s *Site) At(k uint64) Decision {
+	// A private SplitMix64 stream per (site, op): state is never shared,
+	// so concurrent calls need no locking and replay cannot drift.
+	state := s.base ^ (k+1)*0x9E3779B97F4A7C15
+	rng.SplitMix64(&state) // discard one round to decouple from the xor
+	d := Decision{Op: k}
+	if s.cfg.Script != nil {
+		if k < uint64(len(s.cfg.Script)) {
+			d.Kind = s.cfg.Script[k]
+		}
+	} else {
+		u := float64(rng.SplitMix64(&state)>>11) / float64(1<<53)
+		for _, kc := range s.cum {
+			if u < kc.cum {
+				d.Kind = kc.kind
+				break
+			}
+		}
+	}
+	frac := float64(rng.SplitMix64(&state)>>11) / float64(1<<53)
+	pick := rng.SplitMix64(&state)
+	switch d.Kind {
+	case Latency:
+		d.Latency = s.cfg.MinLatency + time.Duration(frac*float64(s.cfg.MaxLatency-s.cfg.MinLatency))
+	case Status5xx:
+		d.Status = s.cfg.Statuses[pick%uint64(len(s.cfg.Statuses))]
+	case TruncateBody, CorruptBody, ShortWrite:
+		d.Frac = frac
+	case ClockSkew:
+		d.Skew = s.cfg.MinSkew + time.Duration(frac*float64(s.cfg.MaxSkew-s.cfg.MinSkew))
+	}
+	return d
+}

@@ -1,0 +1,345 @@
+package faultinject
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// The headline property: a schedule is a pure function of (seed, site,
+// op) — two plans with the same seed replay bit-identically, and
+// concurrent draws cannot perturb the sequence.
+func TestScheduleReplaysBitIdentically(t *testing.T) {
+	cfg := SiteConfig{Rates: map[Kind]float64{
+		Latency: 0.2, ConnReset: 0.1, Status5xx: 0.1, TruncateBody: 0.05,
+		CorruptBody: 0.05, ClockSkew: 0.1,
+	}}
+	a := NewPlan(42).Site("http/member0", cfg)
+	b := NewPlan(42).Site("http/member0", cfg)
+	for k := uint64(0); k < 5000; k++ {
+		if a.At(k) != b.At(k) {
+			t.Fatalf("op %d: %+v != %+v", k, a.At(k), b.At(k))
+		}
+	}
+
+	// Concurrent Next() must consume exactly the same schedule.
+	var mu sync.Mutex
+	seen := make(map[uint64]Decision)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				d := a.Next()
+				mu.Lock()
+				seen[d.Op] = d
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 800 {
+		t.Fatalf("got %d distinct ops, want 800", len(seen))
+	}
+	for op, d := range seen {
+		if want := b.At(op); d != want {
+			t.Fatalf("op %d drifted under concurrency: %+v != %+v", op, d, want)
+		}
+	}
+}
+
+func TestDifferentSeedsAndSitesDecorrelate(t *testing.T) {
+	cfg := SiteConfig{Rates: map[Kind]float64{Latency: 0.5}}
+	a := NewPlan(1).Site("s", cfg)
+	b := NewPlan(2).Site("s", cfg)
+	c := NewPlan(1).Site("s2", cfg)
+	same := 0
+	for k := uint64(0); k < 1000; k++ {
+		da := a.At(k)
+		if da == b.At(k) {
+			same++
+		}
+		if da == c.At(k) {
+			same++
+		}
+	}
+	// None/None collisions are expected; identical streams are not.
+	if same > 1600 {
+		t.Fatalf("streams look correlated: %d/2000 equal decisions", same)
+	}
+}
+
+func TestRatesRoughlyRespected(t *testing.T) {
+	s := NewPlan(7).Site("rates", SiteConfig{Rates: map[Kind]float64{Status5xx: 0.25}})
+	const n = 20000
+	hits := 0
+	for k := uint64(0); k < n; k++ {
+		if s.At(k).Kind == Status5xx {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("Status5xx rate %.3f, want ≈0.25", frac)
+	}
+}
+
+func TestScriptedSchedule(t *testing.T) {
+	s := NewPlan(1).Site("scripted", SiteConfig{Script: []Kind{None, ConnReset, Status5xx}})
+	want := []Kind{None, ConnReset, Status5xx, None, None}
+	for i, k := range want {
+		if got := s.Next(); got.Kind != k {
+			t.Fatalf("op %d: got %v want %v", i, got.Kind, k)
+		}
+	}
+}
+
+func newEchoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true,"payload":"0123456789abcdef"}` + "\n"))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestTransportFaults(t *testing.T) {
+	ts := newEchoServer(t)
+
+	get := func(tr *Transport) (*http.Response, []byte, error) {
+		t.Helper()
+		client := &http.Client{Transport: tr}
+		resp, err := client.Get(ts.URL)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		return resp, data, err
+	}
+
+	t.Run("conn reset surfaces as ECONNRESET", func(t *testing.T) {
+		site := NewPlan(1).Site("reset", SiteConfig{Script: []Kind{ConnReset}})
+		_, _, err := get(&Transport{Site: site})
+		if err == nil || !errors.Is(err, syscall.ECONNRESET) {
+			t.Fatalf("want ECONNRESET, got %v", err)
+		}
+	})
+
+	t.Run("5xx synthesized without reaching the server", func(t *testing.T) {
+		hits := 0
+		backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits++
+		}))
+		defer backend.Close()
+		site := NewPlan(1).Site("5xx", SiteConfig{Script: []Kind{Status5xx}, Statuses: []int{503}})
+		client := &http.Client{Transport: &Transport{Site: site}}
+		resp, err := client.Get(backend.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 503 || hits != 0 {
+			t.Fatalf("status %d hits %d, want 503 and 0", resp.StatusCode, hits)
+		}
+	})
+
+	t.Run("truncated body no longer parses", func(t *testing.T) {
+		site := NewPlan(1).Site("trunc", SiteConfig{Script: []Kind{TruncateBody}})
+		resp, data, err := get(&Transport{Site: site})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v map[string]any
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if json.Unmarshal(data, &v) == nil {
+			t.Fatalf("truncated body still parsed: %q", data)
+		}
+	})
+
+	t.Run("corrupted body no longer parses", func(t *testing.T) {
+		site := NewPlan(1).Site("corrupt", SiteConfig{Script: []Kind{CorruptBody}})
+		_, data, err := get(&Transport{Site: site})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v map[string]any
+		if json.Unmarshal(data, &v) == nil {
+			t.Fatalf("corrupted body still parsed: %q", data)
+		}
+	})
+
+	t.Run("latency delays but succeeds", func(t *testing.T) {
+		site := NewPlan(1).Site("lat", SiteConfig{
+			Script: []Kind{Latency}, MinLatency: 30 * time.Millisecond, MaxLatency: 30 * time.Millisecond,
+		})
+		start := time.Now()
+		_, data, err := get(&Transport{Site: site})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if time.Since(start) < 25*time.Millisecond {
+			t.Fatalf("no delay observed")
+		}
+		var v map[string]any
+		if json.Unmarshal(data, &v) != nil {
+			t.Fatalf("delayed body should be intact: %q", data)
+		}
+	})
+}
+
+func TestHandlerFaults(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}` + "\n"))
+	})
+
+	t.Run("5xx refused before the handler", func(t *testing.T) {
+		site := NewPlan(1).Site("h5xx", SiteConfig{Script: []Kind{Status5xx}, Statuses: []int{502}})
+		ts := httptest.NewServer(&Handler{Next: inner, Site: site})
+		defer ts.Close()
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 502 {
+			t.Fatalf("status %d, want 502", resp.StatusCode)
+		}
+	})
+
+	t.Run("conn reset after the work is done", func(t *testing.T) {
+		// atomic: the reset kills the connection, so the client error can
+		// race the server goroutine's handler return.
+		var ran atomic.Bool
+		site := NewPlan(1).Site("hreset", SiteConfig{Script: []Kind{ConnReset}})
+		ts := httptest.NewServer(&Handler{
+			Next: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				ran.Store(true)
+				inner.ServeHTTP(w, r)
+			}),
+			Site: site,
+		})
+		defer ts.Close()
+		_, err := http.Get(ts.URL)
+		if err == nil {
+			t.Fatal("want a transport error")
+		}
+		if !ran.Load() {
+			t.Fatal("inner handler never ran — reset must model work-done-reply-lost")
+		}
+	})
+
+	t.Run("truncate damages the captured response", func(t *testing.T) {
+		site := NewPlan(1).Site("htrunc", SiteConfig{Script: []Kind{TruncateBody}})
+		ts := httptest.NewServer(&Handler{Next: inner, Site: site})
+		defer ts.Close()
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var v map[string]any
+		if json.Unmarshal(data, &v) == nil {
+			t.Fatalf("truncated body still parsed: %q", data)
+		}
+	})
+}
+
+func TestFaultFS(t *testing.T) {
+	newFile := func(t *testing.T, script []Kind) vfs.File {
+		t.Helper()
+		ffs := &FS{Inner: vfs.OS{}, Files: NewPlan(1).Site(t.Name(), SiteConfig{Script: script})}
+		f, err := ffs.OpenAppend(filepath.Join(t.TempDir(), "log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { f.Close() })
+		return f
+	}
+
+	t.Run("write error writes nothing", func(t *testing.T) {
+		f := newFile(t, []Kind{WriteErr})
+		n, err := f.Write([]byte("hello"))
+		if n != 0 || !errors.Is(err, syscall.EIO) {
+			t.Fatalf("n=%d err=%v, want 0, EIO", n, err)
+		}
+	})
+
+	t.Run("enospc", func(t *testing.T) {
+		f := newFile(t, []Kind{NoSpace})
+		if _, err := f.Write([]byte("hello")); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("want ENOSPC, got %v", err)
+		}
+	})
+
+	t.Run("short write persists a strict prefix", func(t *testing.T) {
+		dir := t.TempDir()
+		name := filepath.Join(dir, "log")
+		ffs := &FS{Inner: vfs.OS{}, Files: NewPlan(3).Site("short", SiteConfig{Script: []Kind{ShortWrite}})}
+		f, err := ffs.OpenAppend(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		payload := []byte("0123456789")
+		n, err := f.Write(payload)
+		if err == nil {
+			t.Fatal("short write must report an error")
+		}
+		if n >= len(payload) {
+			t.Fatalf("short write persisted everything (n=%d)", n)
+		}
+		data, _ := os.ReadFile(name)
+		if len(data) != n {
+			t.Fatalf("on-disk %d bytes, reported %d", len(data), n)
+		}
+	})
+
+	t.Run("sync error leaves data ambiguity to the caller", func(t *testing.T) {
+		f := newFile(t, []Kind{None, SyncErr})
+		if _, err := f.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("want EIO from sync, got %v", err)
+		}
+	})
+}
+
+func TestClockSkewSchedule(t *testing.T) {
+	site := NewPlan(1).Site("clock", SiteConfig{
+		Script:  []Kind{None, ClockSkew, None},
+		MinSkew: time.Minute, MaxSkew: time.Minute,
+	})
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := &Clock{Inner: func() time.Time { return base }, Site: site}
+	if got := c.Now(); !got.Equal(base) {
+		t.Fatalf("op0: %v", got)
+	}
+	if got := c.Now(); !got.Equal(base.Add(time.Minute)) {
+		t.Fatalf("op1: %v, want +1m", got)
+	}
+	if got := c.Now(); !got.Equal(base.Add(time.Minute)) {
+		t.Fatalf("op2: skew must persist, got %v", got)
+	}
+	if c.Offset() != time.Minute {
+		t.Fatalf("offset %v", c.Offset())
+	}
+}

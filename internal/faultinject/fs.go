@@ -1,0 +1,114 @@
+package faultinject
+
+import (
+	"io"
+	"os"
+	"syscall"
+
+	"repro/internal/vfs"
+)
+
+// FS is durability-layer chaos: a vfs.FS whose file writes and fsyncs
+// follow a fault schedule. Fault semantics per operation:
+//
+//   - File.Write draws from Files: WriteErr fails with EIO writing
+//     nothing; ShortWrite persists Frac of the buffer then fails with
+//     EIO (the torn-tail generator); NoSpace fails with ENOSPC writing
+//     nothing.
+//   - File.Sync draws from Files: SyncErr and NoSpace fail the fsync
+//     (EIO / ENOSPC) — the data may or may not be durable, exactly the
+//     ambiguity real fsync failures leave behind.
+//   - SyncDir draws from Dirs (when set) with the same sync semantics.
+//
+// Kinds that don't apply to the operation are ignored (treated as
+// None), so one site can carry a mixed schedule. Reads, opens, renames
+// and removes are passed through untouched: the store's crash-safety
+// derives from write/fsync ordering, which is where the faults belong.
+type FS struct {
+	Inner vfs.FS
+	Files *Site // schedule for File.Write / File.Sync; nil = no faults
+	Dirs  *Site // schedule for SyncDir; nil = no faults
+}
+
+func pathErr(op, path string, err error) error {
+	return &os.PathError{Op: "faultinject " + op, Path: path, Err: err}
+}
+
+func (f *FS) MkdirAll(dir string, perm os.FileMode) error { return f.Inner.MkdirAll(dir, perm) }
+func (f *FS) ReadDirNames(dir string) ([]string, error)   { return f.Inner.ReadDirNames(dir) }
+func (f *FS) Open(name string) (io.ReadCloser, error)     { return f.Inner.Open(name) }
+func (f *FS) Rename(o, n string) error                    { return f.Inner.Rename(o, n) }
+func (f *FS) Remove(name string) error                    { return f.Inner.Remove(name) }
+func (f *FS) Size(name string) (int64, error)             { return f.Inner.Size(name) }
+
+func (f *FS) OpenAppend(name string) (vfs.File, error) {
+	inner, err := f.Inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{inner: inner, name: name, site: f.Files}, nil
+}
+
+func (f *FS) Create(name string) (vfs.File, error) {
+	inner, err := f.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &file{inner: inner, name: name, site: f.Files}, nil
+}
+
+func (f *FS) SyncDir(dir string) error {
+	if f.Dirs != nil {
+		switch d := f.Dirs.Next(); d.Kind {
+		case SyncErr:
+			return pathErr("syncdir", dir, syscall.EIO)
+		case NoSpace:
+			return pathErr("syncdir", dir, syscall.ENOSPC)
+		}
+	}
+	return f.Inner.SyncDir(dir)
+}
+
+type file struct {
+	inner vfs.File
+	name  string
+	site  *Site
+}
+
+func (f *file) Write(p []byte) (int, error) {
+	if f.site != nil {
+		switch d := f.site.Next(); d.Kind {
+		case WriteErr:
+			return 0, pathErr("write", f.name, syscall.EIO)
+		case NoSpace:
+			return 0, pathErr("write", f.name, syscall.ENOSPC)
+		case ShortWrite:
+			n := int(d.Frac * float64(len(p)))
+			if n >= len(p) && len(p) > 0 {
+				n = len(p) - 1
+			}
+			if n > 0 {
+				if m, err := f.inner.Write(p[:n]); err != nil {
+					return m, err
+				}
+			}
+			return n, pathErr("write", f.name, syscall.EIO)
+		}
+	}
+	return f.inner.Write(p)
+}
+
+func (f *file) Sync() error {
+	if f.site != nil {
+		switch d := f.site.Next(); d.Kind {
+		case SyncErr:
+			return pathErr("sync", f.name, syscall.EIO)
+		case NoSpace:
+			return pathErr("sync", f.name, syscall.ENOSPC)
+		}
+	}
+	return f.inner.Sync()
+}
+
+func (f *file) Truncate(size int64) error { return f.inner.Truncate(size) }
+func (f *file) Close() error              { return f.inner.Close() }

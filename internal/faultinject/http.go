@@ -1,0 +1,215 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"syscall"
+	"time"
+)
+
+// Transport is client-side HTTP chaos: an http.RoundTripper that applies
+// its Site's schedule to every request. Fault semantics:
+//
+//   - Latency: the request is delayed, then forwarded (the caller's
+//     context still cancels the wait).
+//   - ConnReset: the request IS forwarded and the server does the work,
+//     but the reply is discarded and a connection-reset error returned —
+//     the classic "did my write happen?" failure; retries must be
+//     idempotent against it.
+//   - Status5xx: a synthesized 5xx JSON error returns without reaching
+//     the server (an overloaded or half-dead intermediary).
+//   - TruncateBody: the real response's body is cut short, keeping
+//     Decision.Frac of it — a mid-JSON hangup.
+//   - CorruptBody: one response byte (at relative position Frac) is
+//     overwritten with NUL, which can never survive JSON parsing.
+//
+// Other kinds are ignored. The zero Site (nil) forwards everything.
+type Transport struct {
+	Base http.RoundTripper // nil means http.DefaultTransport
+	Site *Site
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// errConnReset is what a peer's RST shows up as through the net package.
+func errConnReset() error {
+	return &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+}
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Site == nil {
+		return t.base().RoundTrip(req)
+	}
+	d := t.Site.Next()
+	switch d.Kind {
+	case Latency:
+		timer := time.NewTimer(d.Latency)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+		return t.base().RoundTrip(req)
+
+	case ConnReset:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		// The server processed the request; the client never learns.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, errConnReset()
+
+	case Status5xx:
+		body := []byte(`{"error":"faultinject: synthesized ` + http.StatusText(d.Status) + `"}` + "\n")
+		return &http.Response{
+			StatusCode:    d.Status,
+			Status:        http.StatusText(d.Status),
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(bytes.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+
+	case TruncateBody, CorruptBody:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		data = damageBody(d, data)
+		resp.Body = io.NopCloser(bytes.NewReader(data))
+		resp.ContentLength = int64(len(data))
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	}
+	return t.base().RoundTrip(req)
+}
+
+// damageBody applies TruncateBody/CorruptBody to a payload. Truncation
+// always removes at least one byte; corruption overwrites one byte with
+// NUL, which no JSON document survives.
+func damageBody(d Decision, data []byte) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	switch d.Kind {
+	case TruncateBody:
+		keep := int(d.Frac * float64(len(data)))
+		if keep >= len(data) {
+			keep = len(data) - 1
+		}
+		return data[:keep]
+	case CorruptBody:
+		pos := int(d.Frac * float64(len(data)))
+		if pos >= len(data) {
+			pos = len(data) - 1
+		}
+		out := append([]byte(nil), data...)
+		// NUL is invalid anywhere in JSON (decoders reject control
+		// characters even inside string literals), so the damage can
+		// never be mistaken for a well-formed reply.
+		out[pos] = 0x00
+		return out
+	}
+	return data
+}
+
+// Handler is server-side HTTP chaos: middleware applying its Site's
+// schedule to every request. Latency delays the inner handler;
+// Status5xx refuses without running it; ConnReset runs it (work done)
+// and then aborts the connection so the client sees the reply vanish;
+// TruncateBody/CorruptBody run it and damage the captured response.
+type Handler struct {
+	Next http.Handler
+	Site *Site
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.Site == nil {
+		h.Next.ServeHTTP(w, r)
+		return
+	}
+	d := h.Site.Next()
+	switch d.Kind {
+	case Latency:
+		timer := time.NewTimer(d.Latency)
+		select {
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		h.Next.ServeHTTP(w, r)
+
+	case Status5xx:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(d.Status)
+		w.Write([]byte(`{"error":"faultinject: synthesized ` + http.StatusText(d.Status) + `"}` + "\n"))
+
+	case ConnReset:
+		rec := &responseRecorder{header: make(http.Header)}
+		h.Next.ServeHTTP(rec, r)
+		panic(http.ErrAbortHandler) // net/http aborts the connection quietly
+
+	case TruncateBody, CorruptBody:
+		rec := &responseRecorder{header: make(http.Header)}
+		h.Next.ServeHTTP(rec, r)
+		data := damageBody(d, rec.buf.Bytes())
+		for k, vs := range rec.header {
+			if k == "Content-Length" {
+				continue
+			}
+			w.Header()[k] = vs
+		}
+		w.WriteHeader(rec.status())
+		w.Write(data)
+
+	default:
+		h.Next.ServeHTTP(w, r)
+	}
+}
+
+// responseRecorder is the minimal in-memory http.ResponseWriter the
+// damage paths buffer into (httptest's belongs to test code).
+type responseRecorder struct {
+	header http.Header
+	code   int
+	buf    bytes.Buffer
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	r.WriteHeader(http.StatusOK)
+	return r.buf.Write(p)
+}
+
+func (r *responseRecorder) status() int {
+	if r.code == 0 {
+		return http.StatusOK
+	}
+	return r.code
+}

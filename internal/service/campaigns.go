@@ -68,9 +68,18 @@ func (s *Server) handleCampaignCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Hours > 0 {
 		spec.Deadline = time.Now().Add(time.Duration(req.Hours * float64(time.Hour))).UTC()
 	}
+	// Validate before creating, so the two failure classes answer
+	// differently: a bad spec is the client's 400, while a store that
+	// refused the durable create is the node's 503 — transient to a
+	// retrying client (and to backend.Remote), not a reason to give up.
+	if _, err := spec.Normalize(); err != nil {
+		writeErr(w, clientErr("%v", err))
+		return
+	}
 	created, err := s.cfg.Campaigns.Create(spec)
 	if err != nil {
-		writeErr(w, clientErr("%v", err))
+		writeErr(w, &httpError{status: http.StatusServiceUnavailable,
+			msg: fmt.Sprintf("campaign store refused the create: %v", err), retryAfter: 1})
 		return
 	}
 	writeJSON(w, http.StatusOK, created)
@@ -109,8 +118,15 @@ func (s *Server) handleCampaignCheckpoints(w http.ResponseWriter, r *http.Reques
 
 func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if _, ok := s.cfg.Campaigns.Status(id); !ok {
+		writeErr(w, &httpError{status: http.StatusNotFound, msg: fmt.Sprintf("unknown campaign %q", id)})
+		return
+	}
+	// The campaign exists, so a Cancel failure is the store refusing the
+	// terminal-state write — retryable, not the client's fault.
 	if err := s.cfg.Campaigns.Cancel(id, "cancelled via API"); err != nil {
-		writeErr(w, &httpError{status: http.StatusNotFound, msg: err.Error()})
+		writeErr(w, &httpError{status: http.StatusServiceUnavailable,
+			msg: fmt.Sprintf("campaign store refused the cancel: %v", err), retryAfter: 1})
 		return
 	}
 	st, _ := s.cfg.Campaigns.Status(id)

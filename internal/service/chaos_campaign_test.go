@@ -1,0 +1,220 @@
+package service
+
+// Campaign chaos e2e, run by CI under -race: a live two-worker campaign
+// where every failure domain is under a seeded fault schedule at once —
+// the workers' heartbeat HTTP (latency, resets, retryable 5xx, damaged
+// response bodies), the store's filesystem (failed/short writes, fsync
+// errors, ENOSPC), and the coordinator's wall clock (NTP-style skew
+// steps against a 300ms lease TTL). Asserted invariants:
+//
+//   - liveness: both shards keep checkpointing (epoch >= 3) despite the
+//     chaos — lost assignments self-heal via heartbeat reconciliation,
+//     failed store appends are re-covered by the next epoch's report;
+//   - no double-assignment: a capacity-1 worker never owns two shards;
+//   - monotonicity: a shard's observed epoch never regresses;
+//   - durability: everything the API reported as checkpointed is
+//     replayed by a fresh store over the same directory after close —
+//     fsync-before-ack means an acked epoch can never be lost;
+//   - loud failure: a chaos-refused API call surfaces as a 5xx, never
+//     as silent acceptance.
+//
+// The seed is logged on every run; set CHAOS_SEED to replay a failure.
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/faultinject"
+	"repro/internal/vfs"
+)
+
+const defaultCampaignChaosSeed = 20260807
+
+func campaignChaosSeed(t *testing.T) uint64 {
+	t.Helper()
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q: %v", s, err)
+		}
+		return v
+	}
+	return defaultCampaignChaosSeed
+}
+
+func TestChaosCampaignInvariants(t *testing.T) {
+	seed := campaignChaosSeed(t)
+	t.Logf("chaos seed: %d (set CHAOS_SEED to replay)", seed)
+	plan := faultinject.NewPlan(seed)
+
+	// Failure domain 1: the store's filesystem.
+	dir := t.TempDir()
+	chaosFS := &faultinject.FS{
+		Inner: vfs.OS{},
+		Files: plan.Site("store.files", faultinject.SiteConfig{
+			Rates: map[faultinject.Kind]float64{
+				faultinject.WriteErr:   0.04,
+				faultinject.ShortWrite: 0.03,
+				faultinject.SyncErr:    0.04,
+				faultinject.NoSpace:    0.02,
+			},
+		}),
+		Dirs: plan.Site("store.dirs", faultinject.SiteConfig{
+			Rates: map[faultinject.Kind]float64{faultinject.SyncErr: 0.10},
+		}),
+	}
+	store, err := campaign.OpenFS(dir, chaosFS, campaign.StoreOptions{})
+	if err != nil {
+		t.Fatalf("OpenFS: %v", err)
+	}
+
+	// Failure domain 2: the coordinator's wall clock. ±2s steps against
+	// a 300ms lease TTL would mass-expire the fleet on every step if the
+	// clock-anomaly absorption were missing.
+	clk := &faultinject.Clock{
+		Site: plan.Site("coord.clock", faultinject.SiteConfig{
+			Rates: map[faultinject.Kind]float64{faultinject.ClockSkew: 0.05},
+		}),
+	}
+	coord, err := campaign.NewCoordinator(campaign.CoordinatorConfig{
+		Store:    store,
+		LeaseTTL: 300 * time.Millisecond,
+		Now:      clk.Now,
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	_, ts := newTestServer(t, Config{Campaigns: coord})
+	base := ts.URL
+
+	// The store may refuse any write; a refused create must be a loud
+	// 5xx and a clean retry must eventually land (ENOSPC-style faults
+	// are transient weather here, not a full disk).
+	var spec campaign.Spec
+	created := false
+	for attempt := 0; attempt < 20 && !created; attempt++ {
+		code := postJSON(t, base+"/v1/campaigns", map[string]any{
+			"spec": "costas n=26", "shards": 2, "walkers": 2,
+			"snapshot_iters": 1 << 14, "seed": 17,
+		}, &spec)
+		switch {
+		case code == 200 && spec.ID != "":
+			created = true
+		case code >= 500:
+			time.Sleep(10 * time.Millisecond) // loud refusal; retry
+		default:
+			t.Fatalf("create answered %d — a store fault must 5xx, not %d", code, code)
+		}
+	}
+	if !created {
+		t.Fatal("campaign create never succeeded in 20 attempts")
+	}
+
+	// Failure domain 3: the workers' heartbeat HTTP path.
+	workerChaos := func(name string) *campaign.HTTPControl {
+		site := plan.Site(name, faultinject.SiteConfig{
+			Rates: map[faultinject.Kind]float64{
+				faultinject.Latency:      0.10,
+				faultinject.ConnReset:    0.05,
+				faultinject.Status5xx:    0.08,
+				faultinject.TruncateBody: 0.04,
+				faultinject.CorruptBody:  0.03,
+			},
+			MinLatency: time.Millisecond,
+			MaxLatency: 10 * time.Millisecond,
+			Statuses:   []int{502, 503, 504},
+		})
+		return campaign.NewHTTPControl(base, &http.Client{
+			Transport: &faultinject.Transport{Site: site},
+		})
+	}
+	startChaosWorker := func(id string, ctl *campaign.HTTPControl) {
+		w, err := campaign.NewWorker(campaign.WorkerConfig{
+			ID: id, Control: ctl, Capacity: 1, Heartbeat: 25 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("NewWorker(%s): %v", id, err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() { defer close(done); _ = w.Run(ctx) }()
+		t.Cleanup(func() { cancel(); <-done })
+	}
+	startChaosWorker("w1", workerChaos("w1.http"))
+	startChaosWorker("w2", workerChaos("w2.http"))
+
+	// Liveness + safety: poll until both shards pass epoch 3, checking
+	// the invariants at every observation.
+	lastEpoch := map[int]int64{}
+	waitFor(t, 120*time.Second, "both shards past epoch 3 under chaos", func() bool {
+		st := campaignStatus(t, base, spec.ID)
+		owners := map[string]int{}
+		done := true
+		for _, sh := range st.Shards {
+			if sh.Epoch < lastEpoch[sh.Shard] {
+				t.Fatalf("shard %d epoch regressed: %d -> %d", sh.Shard, lastEpoch[sh.Shard], sh.Epoch)
+			}
+			lastEpoch[sh.Shard] = sh.Epoch
+			if sh.Worker != "" {
+				owners[sh.Worker]++
+				if owners[sh.Worker] > 1 {
+					t.Fatalf("capacity-1 worker %s owns %d shards: %+v", sh.Worker, owners[sh.Worker], st.Shards)
+				}
+			}
+			if sh.Epoch < 3 {
+				done = false
+			}
+		}
+		return done || st.State == campaign.StateSolved
+	})
+
+	// Cancel through the API (retrying chaos-refused attempts), then
+	// take the final acked view.
+	cancelled := false
+	var final campaign.Status
+	for attempt := 0; attempt < 20 && !cancelled; attempt++ {
+		if code := postJSON(t, base+"/v1/campaigns/"+spec.ID+"/cancel", map[string]any{}, &final); code == 200 {
+			cancelled = true
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if !cancelled {
+		t.Fatal("cancel never succeeded in 20 attempts")
+	}
+	for _, sh := range final.Shards {
+		lastEpoch[sh.Shard] = sh.Epoch
+	}
+
+	// Durability: close everything, replay the log with a clean
+	// filesystem, and require every acked epoch (and the terminal state)
+	// back. fsync-before-ack makes this exact, chaos or not.
+	store.Close()
+	replayed, err := campaign.Open(dir)
+	if err != nil {
+		t.Fatalf("replay after chaos run: %v", err)
+	}
+	defer replayed.Close()
+	rst, ok := replayed.Status(spec.ID)
+	if !ok {
+		t.Fatal("campaign missing from the replayed store")
+	}
+	if rst.State != final.State {
+		t.Fatalf("replayed state %q, acked state %q", rst.State, final.State)
+	}
+	for _, sh := range rst.Shards {
+		if sh.Epoch < lastEpoch[sh.Shard] {
+			t.Fatalf("shard %d lost acked epochs in replay: durable %d < acked %d",
+				sh.Shard, sh.Epoch, lastEpoch[sh.Shard])
+		}
+	}
+	t.Logf("chaos draws: files=%d dirs=%d clock=%d (offset %v) w1=%d w2=%d",
+		chaosFS.Files.Count(), chaosFS.Dirs.Count(), clk.Site.Count(), clk.Offset(),
+		plan.Site("w1.http", faultinject.SiteConfig{}).Count(),
+		plan.Site("w2.http", faultinject.SiteConfig{}).Count())
+}

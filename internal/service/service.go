@@ -110,6 +110,15 @@ type Config struct {
 	// ClientKeyHeader names the request header identifying a client for
 	// rate limiting; "" means "X-Client-Key".
 	ClientKeyHeader string
+	// MaxQueueDepth sheds load when the worker queue backs up: once the
+	// semaphore's wait queue reaches this depth, batch-class work (sync
+	// batches, async solves and batches) is refused with 503 +
+	// Retry-After, and at 2× the depth interactive sync solves are
+	// refused too — an overloaded node answers fast instead of growing
+	// an unbounded queue, and /healthz degrades to 503 so a coordinator
+	// Pool routes around it. 0 means 16×Workers; negative disables
+	// shedding.
+	MaxQueueDepth int
 	// Campaigns, when non-nil, exposes the durable campaign layer
 	// (internal/campaign) under /v1/campaigns: create/status/checkpoint
 	// list/cancel for clients, register/heartbeat for workers. nil (the
@@ -129,6 +138,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxStoredJobs <= 0 {
 		c.MaxStoredJobs = 1024
+	}
+	if c.MaxQueueDepth == 0 {
+		c.MaxQueueDepth = 16 * c.Workers
 	}
 	if c.Registry == nil {
 		c.Registry = registry.Default
@@ -289,6 +301,8 @@ type Server struct {
 
 	coalesced   atomic.Int64 // requests served by joining another request's flight
 	rateLimited atomic.Int64 // requests refused with 429
+	shedBatch   atomic.Int64 // batch-class requests refused by queue-depth shedding
+	shedInter   atomic.Int64 // interactive requests refused by queue-depth shedding
 	latency     map[string]*latencyHist
 
 	mu         sync.Mutex
@@ -500,6 +514,53 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 	return false
 }
 
+// shedding reports whether new work of the given class must be refused
+// because the worker queue is saturated. Batch-class work sheds first
+// (at MaxQueueDepth); interactive sync solves hold on until 2× — under
+// overload the node stays useful for small requests longest.
+func (s *Server) shedding(interactive bool) (int, bool) {
+	if s.cfg.MaxQueueDepth < 0 {
+		return 0, false
+	}
+	depth := s.sem.depth()
+	limit := s.cfg.MaxQueueDepth
+	if interactive {
+		limit = 2 * limit
+	}
+	return depth, depth >= limit
+}
+
+// shedErr returns the 503 a saturated queue owes one request of the
+// given class, or nil when the request may proceed. The error carries
+// Retry-After: 1 — transient to backend.Remote, which floors its
+// backoff on the header — so shed work lands elsewhere or comes back.
+func (s *Server) shedErr(interactive bool) error {
+	depth, saturated := s.shedding(interactive)
+	if !saturated {
+		return nil
+	}
+	if interactive {
+		s.shedInter.Add(1)
+	} else {
+		s.shedBatch.Add(1)
+	}
+	return &httpError{
+		status:     http.StatusServiceUnavailable,
+		msg:        fmt.Sprintf("overloaded: %d requests queued for %d workers", depth, s.cfg.Workers),
+		retryAfter: 1,
+	}
+}
+
+// shed applies queue-depth load shedding at a handler's entry; a false
+// return means the 503 is already written and the caller must stop.
+func (s *Server) shed(w http.ResponseWriter, interactive bool) bool {
+	if err := s.shedErr(interactive); err != nil {
+		writeErr(w, err)
+		return false
+	}
+	return true
+}
+
 func (s *Server) trackInflight(delta int) {
 	s.mu.Lock()
 	s.inflight += delta
@@ -553,6 +614,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if req.Async {
+		if !s.shed(w, false) { // async solves run at batch priority
+			return
+		}
 		id, err := s.admitJob("solve")
 		if err != nil {
 			writeErr(w, err)
@@ -621,6 +685,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if !s.shed(w, true) {
+		return
+	}
 	ctx, cancel := s.runCtx(r.Context(), req.TimeoutMS)
 	defer cancel()
 	if err := s.acquire(ctx, true); err != nil {
@@ -645,6 +712,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // completion. Every waiter of the flight receives the same bytes, so
 // coalesced responses are byte-identical by construction.
 func (s *Server) solveToBytes(fctx context.Context, inst registry.Instance, opts core.Options, key string, timeoutMS int64) ([]byte, error) {
+	// A new flight needs a worker slot, so it sheds like any sync solve;
+	// waiters joining an existing flight cost nothing and are never shed.
+	if err := s.shedErr(true); err != nil {
+		return nil, err
+	}
 	ctx, cancel := s.runCtx(fctx, timeoutMS)
 	defer cancel()
 	if err := s.acquire(ctx, true); err != nil {
@@ -759,6 +831,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return batchResponse(models, res), nil
 	}
 
+	if !s.shed(w, false) { // batches shed first, sync or async
+		return
+	}
 	if req.Async {
 		id, err := s.admitJob("batch")
 		if err != nil {
@@ -996,22 +1071,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"cache_entries":      cs.Entries,
 		"coalesced_total":    s.coalesced.Load(),
 		"rate_limited_total": s.rateLimited.Load(),
+		"max_queue_depth":    s.cfg.MaxQueueDepth,
+		"shed_batch_total":   s.shedBatch.Load(),
+		"shed_interactive":   s.shedInter.Load(),
 		"latency":            latency,
 		"uptime_sec":         time.Since(s.started).Seconds(),
 	})
 }
 
+// handleHealthz answers 200 while the node can take work and degrades
+// to 503 (ok:false + reason) once queue-depth shedding is active — a
+// coordinator Pool's health probe then steers solves to other members
+// instead of feeding a saturated queue.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	inflight := s.inflight
 	stored := len(s.jobs)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":         true,
-		"inflight":   inflight,
-		"jobs":       stored,
-		"workers":    s.cfg.Workers,
-		"models":     len(s.cfg.Registry.Names()),
-		"uptime_sec": time.Since(s.started).Seconds(),
-	})
+	body := map[string]any{
+		"ok":          true,
+		"inflight":    inflight,
+		"jobs":        stored,
+		"queue_depth": s.sem.depth(),
+		"workers":     s.cfg.Workers,
+		"models":      len(s.cfg.Registry.Names()),
+		"uptime_sec":  time.Since(s.started).Seconds(),
+	}
+	status := http.StatusOK
+	if depth, saturated := s.shedding(false); saturated {
+		body["ok"] = false
+		body["reason"] = fmt.Sprintf("worker queue saturated: %d queued for %d workers (shedding)", depth, s.cfg.Workers)
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }

@@ -1,0 +1,197 @@
+package service
+
+// Queue-depth load shedding: an overloaded node must answer fast
+// (503 + Retry-After) instead of growing an unbounded wait queue, shed
+// batch-class work before interactive solves, degrade /healthz so pool
+// routing steers around it, and recover cleanly once the queue drains.
+//
+// The tests saturate the semaphore directly (same package) instead of
+// with long solves, so every threshold crossing is deterministic.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+)
+
+// occupy takes every free worker slot and parks `queued` batch-class
+// waiters, returning once the queue depth is exactly `queued`. The
+// returned func releases everything.
+func occupy(t *testing.T, s *Server, queued int) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 0; i < s.cfg.Workers; i++ {
+		if err := s.acquire(ctx, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < queued; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = s.acquire(ctx, false) // parks until cancel
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.sem.depth() != queued {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth %d never reached %d", s.sem.depth(), queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return func() {
+		cancel()
+		wg.Wait()
+		for i := 0; i < s.cfg.Workers; i++ {
+			s.release()
+		}
+	}
+}
+
+// post returns status, decoded JSON body and the Retry-After header.
+func post(t *testing.T, url string, body any) (int, map[string]any, string) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	var out map[string]any
+	_ = json.Unmarshal(data, &out)
+	return resp.StatusCode, out, resp.Header.Get("Retry-After")
+}
+
+// TestShedBatchBeforeInteractive: batch-class work sheds at
+// MaxQueueDepth, interactive solves only at 2× — the class thresholds
+// that keep an overloaded node useful for small requests longest.
+func TestShedBatchBeforeInteractive(t *testing.T) {
+	s := New(Config{Workers: 1, MaxQueueDepth: 2})
+	defer s.Shutdown(context.Background())
+
+	if _, saturated := s.shedding(false); saturated {
+		t.Fatal("idle server sheds batch work")
+	}
+	release := occupy(t, s, 2)
+	if _, saturated := s.shedding(false); !saturated {
+		t.Fatal("batch not shed at MaxQueueDepth")
+	}
+	if _, saturated := s.shedding(true); saturated {
+		t.Fatal("interactive shed below 2x MaxQueueDepth")
+	}
+	release()
+
+	release = occupy(t, s, 4)
+	if _, saturated := s.shedding(true); !saturated {
+		t.Fatal("interactive not shed at 2x MaxQueueDepth")
+	}
+	release()
+	if _, saturated := s.shedding(false); saturated {
+		t.Fatal("shedding did not recover after the queue drained")
+	}
+}
+
+// TestShedHTTPAndHealthzDegrade drives the whole surface over HTTP: a
+// saturated node 503s batch and async work with Retry-After, /healthz
+// degrades to 503 with a reason, metrics count the sheds, and
+// everything recovers once the queue drains.
+func TestShedHTTPAndHealthzDegrade(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, MaxQueueDepth: 1, CacheSize: -1})
+	release := occupy(t, s, 2) // depth 2 = 2x threshold: everything sheds
+
+	batchReq := BatchRequest{Jobs: []BatchJobRequest{
+		{Model: registry.Spec{Name: "costas", Params: map[string]int{"n": 6}}},
+	}}
+	code, body, retry := post(t, ts.URL+"/v1/batch", batchReq)
+	if code != http.StatusServiceUnavailable || retry == "" {
+		t.Fatalf("sync batch: code %d retry %q body %v, want 503 + Retry-After", code, retry, body)
+	}
+
+	asyncReq := SolveRequest{
+		Model:   registry.Spec{Name: "costas", Params: map[string]int{"n": 6}},
+		Options: OptionsJSON{Seed: 1},
+		Async:   true,
+	}
+	if code, body, retry := post(t, ts.URL+"/v1/solve", asyncReq); code != http.StatusServiceUnavailable || retry == "" {
+		t.Fatalf("async solve: code %d retry %q body %v, want 503 + Retry-After", code, retry, body)
+	}
+
+	syncReq := asyncReq
+	syncReq.Async = false
+	if code, _, retry := post(t, ts.URL+"/v1/solve", syncReq); code != http.StatusServiceUnavailable || retry == "" {
+		t.Fatalf("interactive solve at 2x depth: code %d retry %q, want 503", code, retry)
+	}
+
+	var h map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated healthz status %d, want 503 (body %v)", code, h)
+	}
+	if h["ok"] != false || h["reason"] == "" || h["reason"] == nil {
+		t.Fatalf("degraded healthz must carry ok:false and a reason, got %v", h)
+	}
+
+	var m map[string]any
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m["shed_batch_total"].(float64) < 2 || m["shed_interactive"].(float64) < 1 {
+		t.Fatalf("shed counters not reported: %v %v", m["shed_batch_total"], m["shed_interactive"])
+	}
+
+	release()
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK || h["ok"] != true {
+		t.Fatalf("healthz did not recover: code %d body %v", code, h)
+	}
+	if code, body, _ := post(t, ts.URL+"/v1/batch", batchReq); code != http.StatusOK {
+		t.Fatalf("batch after recovery: code %d body %v", code, body)
+	}
+}
+
+// TestShedSpareCacheHits: a replay from the response cache occupies no
+// worker slot, so a saturated queue must not shed it — degraded mode
+// still serves what is already computed.
+func TestShedSpareCacheHits(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, MaxQueueDepth: 1})
+	req := SolveRequest{
+		Model:   registry.Spec{Name: "costas", Params: map[string]int{"n": 8}},
+		Options: OptionsJSON{Seed: 7},
+	}
+	code, first, _ := post(t, ts.URL+"/v1/solve", req)
+	if code != http.StatusOK || first["solved"] != true {
+		t.Fatalf("priming solve: code %d body %v", code, first)
+	}
+
+	release := occupy(t, s, 4)
+	defer release()
+	code, replay, _ := post(t, ts.URL+"/v1/solve", req)
+	if code != http.StatusOK || replay["solved"] != true {
+		t.Fatalf("cache hit shed under load: code %d body %v", code, replay)
+	}
+	// The identical uncached request IS shed (it would need a slot).
+	miss := req
+	miss.Options.Seed = 8
+	if code, _, retry := post(t, ts.URL+"/v1/solve", miss); code != http.StatusServiceUnavailable || retry == "" {
+		t.Fatalf("uncached solve under saturation: code %d retry %q, want 503", code, retry)
+	}
+}
+
+// TestShedDisabled: MaxQueueDepth < 0 turns shedding off entirely.
+func TestShedDisabled(t *testing.T) {
+	s := New(Config{Workers: 1, MaxQueueDepth: -1})
+	defer s.Shutdown(context.Background())
+	release := occupy(t, s, 8)
+	defer release()
+	if _, saturated := s.shedding(false); saturated {
+		t.Fatal("negative MaxQueueDepth still sheds")
+	}
+}

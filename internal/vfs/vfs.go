@@ -1,0 +1,108 @@
+// Package vfs is the minimal filesystem seam the durability layer writes
+// through. The campaign store (internal/campaign) does all of its disk
+// I/O via an FS so that tests — and the deterministic fault injector
+// (internal/faultinject) — can interpose failed writes, short writes,
+// fsync errors and ENOSPC without touching the real filesystem or the
+// store's logic. OS is the one production implementation; everything
+// else lives in test harnesses.
+//
+// The interface is deliberately tiny: exactly the operations an
+// append-only, fsync-before-ack log with atomic-rename compaction needs,
+// nothing more. Widening it should be a deliberate act, because every
+// method here is a place a crash or a full disk must be reasoned about.
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// File is an open, writable log file. Write/Sync/Truncate mirror
+// *os.File; Truncate exists so a store can roll a torn append back to
+// the last durable offset.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Truncate cuts the file to size bytes — the rollback primitive
+	// after a failed or short append.
+	Truncate(size int64) error
+	Close() error
+}
+
+// FS is the filesystem surface the durability layer uses.
+type FS interface {
+	// MkdirAll creates dir (and parents) if needed.
+	MkdirAll(dir string, perm os.FileMode) error
+	// ReadDirNames lists the entry names of dir (files and
+	// subdirectories, unsorted or sorted — callers must not rely on
+	// order).
+	ReadDirNames(dir string) ([]string, error)
+	// Open opens name for reading (log replay).
+	Open(name string) (io.ReadCloser, error)
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Create opens name for writing, truncating any previous content
+	// (compaction scratch files).
+	Create(name string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making entry creations/renames in it
+	// durable — the step that ensures a newly created log file itself
+	// (not just its contents) survives a crash.
+	SyncDir(dir string) error
+	// Size reports name's current length in bytes.
+	Size(name string) (int64, error)
+}
+
+// OS is the production FS: the real filesystem via the os package.
+type OS struct{}
+
+func (OS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (OS) ReadDirNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+func (OS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (OS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("vfs: sync dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("vfs: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+func (OS) Size(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
