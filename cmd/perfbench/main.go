@@ -322,11 +322,23 @@ func runAll(benchtime string) ([]Result, error) {
 	return out, failed
 }
 
+// suiteOf buckets a row name into the suite that produces it, for
+// carry-over of skipped suites.
+func suiteOf(name string) string {
+	switch {
+	case strings.HasPrefix(name, "serving/"):
+		return "serving"
+	case strings.HasPrefix(name, "racing/"):
+		return "racing"
+	default:
+		return "kernel"
+	}
+}
+
 // carryOver appends baseline rows belonging to a suite this run skipped.
-func carryOver(results []Result, base *File, ranKernel, ranServing bool) []Result {
+func carryOver(results []Result, base *File, ran map[string]bool) []Result {
 	for _, b := range base.Benchmarks {
-		isServing := strings.HasPrefix(b.Name, "serving/")
-		if (isServing && !ranServing) || (!isServing && !ranKernel) {
+		if !ran[suiteOf(b.Name)] {
 			results = append(results, b)
 		}
 	}
@@ -354,6 +366,8 @@ func main() {
 		benchtime  = flag.String("benchtime", "", `testing benchtime (default "2s", or "0.3s" with -smoke)`)
 		kernel     = flag.Bool("kernel", false, "run only the kernel/engine/table/pool suite")
 		serving    = flag.Bool("serving", false, "run only the serving (HTTP fast path) suite")
+		racing     = flag.Bool("racing", false, "run only the racing-portfolio suite (time-to-first-solution, racing vs static arms)")
+		rebaseline = flag.Bool("rebaseline", false, "reset every recorded row's baseline to THIS run (baseline_ns_op = ns_op, speedup = 1); refused with -smoke")
 		servtime   = flag.Duration("servingtime", 0, `per-row serving load window (default 3s, or 500ms with -smoke)`)
 		clients    = flag.Int("clients", 0, "serving suite closed-loop clients (default GOMAXPROCS)")
 		minhitgain = flag.Float64("minhitgain", 2.0, "with -smoke: required ratio of solve-path p50 to cached-hit p50 (machine-independent serving gate)")
@@ -361,8 +375,15 @@ func main() {
 		baseline   = flag.String("baseline", "BENCH_costas.json", "recorded baseline to compare against (skipped if missing)")
 	)
 	flag.Parse()
-	// Neither suite flag = the full recording run does both.
-	doKernel, doServing := *kernel || !*serving, *serving || !*kernel
+	// No suite flag = the full recording run does all suites.
+	all := !*kernel && !*serving && !*racing
+	doKernel, doServing, doRacing := *kernel || all, *serving || all, *racing || all
+	if *rebaseline && *smoke {
+		// Smoke numbers come from short runs; recording them as the
+		// baseline would poison every later -maxregress comparison.
+		fmt.Fprintln(os.Stderr, "perfbench: -rebaseline is refused with -smoke: a baseline must come from a full-length recording run")
+		os.Exit(2)
+	}
 	testing.Init()
 	outSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -424,15 +445,36 @@ func main() {
 		}
 		results = append(results, r...)
 	}
+	if doRacing {
+		r, err := runRacingSuite()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(2)
+		}
+		results = append(results, r...)
+	}
 	// fileRows is what gets recorded: a single-suite run keeps the other
-	// suite's committed rows (verbatim, their recorded trajectory intact)
-	// so a partial regeneration never drops half the file. Printing and
+	// suites' committed rows (verbatim, their recorded trajectory intact)
+	// so a partial regeneration never drops part of the file. Printing and
 	// the smoke gates below stay on `results` — only rows actually
 	// measured this run are reported or gated.
 	fileRows := results
 	if base != nil {
 		mergeBaseline(results, base)
-		fileRows = carryOver(results, base, doKernel, doServing)
+		fileRows = carryOver(results, base, map[string]bool{
+			"kernel": doKernel, "serving": doServing, "racing": doRacing,
+		})
+	}
+	if *rebaseline {
+		// The trajectory restarts here: every row's baseline becomes this
+		// run's measurement. Speedups recorded on other machines (or CPU
+		// counts) are not comparable anyway — see README.
+		for i := range fileRows {
+			if fileRows[i].NsOp > 0 {
+				fileRows[i].BaselineNsOp = fileRows[i].NsOp
+				fileRows[i].Speedup = 1
+			}
+		}
 	}
 
 	doc := File{
@@ -511,6 +553,12 @@ func main() {
 		} else {
 			fmt.Fprintf(os.Stderr, "perfbench: serving hit gain %.1fx (gate ≥ %.1fx)\n", gain, *minhitgain)
 		}
+	}
+	// The racing gate compares fixed-seed lockstep iteration counts —
+	// bit-reproducible on any machine, so it needs no slack for CI runner
+	// speed, only the -maxregress allowance vs the best static arm.
+	if *smoke && doRacing && gateRacing(results, *maxregress) {
+		failed = true
 	}
 	if failed {
 		os.Exit(1)

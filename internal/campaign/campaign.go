@@ -63,8 +63,18 @@ type Spec struct {
 	// RunSpec is the instance + solver options in the registry's run-spec
 	// syntax, e.g. "costas n=24" or "costas n=22 method=tabu". Per-walk
 	// budget keys (maxiter) are rejected: a campaign runs until solved,
-	// cancelled or past its deadline.
+	// cancelled or past its deadline. method=racing is rejected too —
+	// across a campaign the racing mechanism is Arms, which races whole
+	// shards instead of walkers inside one process.
 	RunSpec string `json:"run_spec"`
+
+	// Arms, when set, races search methods across shards: each shard runs
+	// one arm's method (overriding any method in RunSpec), the coordinator
+	// scores arms from ingested checkpoints (best cost reached, then
+	// iterations spent) and steers shards toward the winning arm at epoch
+	// boundaries, keeping one explorer shard on the runner-up. Empty means
+	// a single-method campaign exactly as before.
+	Arms []string `json:"arms,omitempty"`
 
 	// Shards is the number of independently assignable walk groups; the
 	// unit of distribution and checkpointing. Default 1.
@@ -112,9 +122,21 @@ func (s Spec) Normalize() (Spec, error) {
 		return s, fmt.Errorf("campaign: empty run spec")
 	}
 	// Building a probe runner validates the spec end to end: instance
-	// resolution, walk configuration and the Restartable requirement.
+	// resolution, walk configuration and the Restartable requirement —
+	// once per arm, so an arm that cannot build is rejected at create
+	// time, not when a worker first draws it.
 	if _, err := NewShardRunner(s, 0, nil); err != nil {
 		return s, err
+	}
+	seen := make(map[string]bool, len(s.Arms))
+	for _, arm := range s.Arms {
+		if seen[arm] {
+			return s, fmt.Errorf("campaign: duplicate arm %q", arm)
+		}
+		seen[arm] = true
+		if _, err := NewShardRunnerMethod(s, 0, nil, arm); err != nil {
+			return s, fmt.Errorf("campaign: arm %q: %w", arm, err)
+		}
 	}
 	return s, nil
 }
@@ -156,8 +178,9 @@ type Checkpoint struct {
 	CampaignID string        `json:"campaign_id"`
 	Shard      int           `json:"shard"`
 	Epoch      int64         `json:"epoch"`
-	Iterations int64         `json:"iterations"` // Σ walker cumulative iterations
-	BestCost   int           `json:"best_cost"`  // min walker cost at the boundary
+	Method     string        `json:"method,omitempty"` // arm the shard ran this epoch ("" = RunSpec's method)
+	Iterations int64         `json:"iterations"`       // Σ walker cumulative iterations
+	BestCost   int           `json:"best_cost"`        // min walker cost at the boundary
 	Walkers    []WalkerState `json:"walkers"`
 	Taken      time.Time     `json:"taken,omitzero"`
 }
@@ -187,8 +210,9 @@ type CheckpointMeta struct {
 type Solution struct {
 	CampaignID string    `json:"campaign_id"`
 	Shard      int       `json:"shard"`
-	Walker     int       `json:"walker"` // global walker index
-	Epoch      int64     `json:"epoch"`  // epoch in which the solve landed
+	Walker     int       `json:"walker"`           // global walker index
+	Epoch      int64     `json:"epoch"`            // epoch in which the solve landed
+	Method     string    `json:"method,omitempty"` // arm that solved ("" = RunSpec's method)
 	Iterations int64     `json:"iterations"`
 	Config     []int     `json:"config"`
 	Found      time.Time `json:"found,omitzero"`
@@ -212,6 +236,7 @@ type ShardStatus struct {
 	Iterations int64     `json:"iterations"`
 	BestCost   int       `json:"best_cost"`
 	Attempts   int       `json:"attempts"`
+	Method     string    `json:"method,omitempty"` // arm at the last checkpoint
 	Worker     string    `json:"worker,omitempty"` // current assignee ("" = unassigned)
 	Updated    time.Time `json:"updated,omitzero"` // last checkpoint time
 }

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/registry"
 )
 
 // fakeClock is a settable clock for lease-expiry tests.
@@ -304,4 +306,112 @@ func TestWorkerSolvesInProcess(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	t.Fatal("campaign did not solve n=10 in time")
+}
+
+// TestCoordinatorArmsSteering: an Arms campaign starts round-robin over
+// the arms, and once every arm has reported a checkpoint the coordinator
+// steers all shards to the best-cost arm — except the last shard, which
+// explores the runner-up. The winning arm of a solution lands in the
+// registry's runtime tuning store.
+func TestCoordinatorArmsSteering(t *testing.T) {
+	clock := newFakeClock()
+	coord, _ := newTestCoordinator(t, t.TempDir(), clock)
+	spec, err := coord.Create(Spec{
+		RunSpec: "costas n=16", Shards: 3, Walkers: 1, SnapshotIters: 64,
+		Arms: []string{"adaptive", "tabu"},
+	})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+
+	resp := heartbeat(t, coord, HeartbeatRequest{WorkerID: "w1", Capacity: 3})
+	if len(resp.Assign) != 3 {
+		t.Fatalf("got %d assignments, want 3", len(resp.Assign))
+	}
+	for _, asg := range resp.Assign {
+		want := spec.Arms[asg.Shard%len(spec.Arms)]
+		if asg.Method != want {
+			t.Fatalf("shard %d assigned arm %q before any scores, want round-robin %q", asg.Shard, asg.Method, want)
+		}
+	}
+
+	// tabu reports a strictly better cost than adaptive.
+	mkcp := func(shard int, method string, cost int) Checkpoint {
+		cp := testCheckpoint(spec.ID, shard, 1)
+		cp.Walkers = cp.Walkers[:1]
+		cp.Method = method
+		cp.BestCost = cost
+		return cp
+	}
+	running := []ShardRef{{spec.ID, 0}, {spec.ID, 1}, {spec.ID, 2}}
+	resp = heartbeat(t, coord, HeartbeatRequest{
+		WorkerID: "w1", Capacity: 3, Running: running,
+		Checkpoints: []Checkpoint{mkcp(0, "adaptive", 5), mkcp(1, "tabu", 2)},
+	})
+	want := map[int]string{0: "tabu", 1: "tabu", 2: "adaptive"} // last shard explores the runner-up
+	if len(resp.Retune) != 3 {
+		t.Fatalf("retune directives = %+v, want 3", resp.Retune)
+	}
+	for _, rt := range resp.Retune {
+		if rt.Method != want[rt.Ref.Shard] {
+			t.Fatalf("shard %d steered to %q, want %q (retunes %+v)", rt.Ref.Shard, rt.Method, want[rt.Ref.Shard], resp.Retune)
+		}
+	}
+
+	// A solution on the tabu arm records the win under (model, size) in
+	// the registry's runtime tuning store.
+	sol := Solution{CampaignID: spec.ID, Shard: 1, Walker: 1, Epoch: 2, Method: "tabu",
+		Iterations: 999, Config: []int{0, 2, 1}}
+	heartbeat(t, coord, HeartbeatRequest{WorkerID: "w1", Capacity: 3, Solutions: []Solution{sol}})
+	tuned, _, ok := registry.Default.TunedFor("costas", len(sol.Config))
+	if !ok || tuned.Method != "tabu" {
+		t.Fatalf("registry tuning after arm win = %+v ok=%v, want method tabu", tuned, ok)
+	}
+}
+
+// TestCoordinatorArmScoresSurviveRestart: a restarted coordinator
+// recovers its arm scores from the store's latest checkpoints instead of
+// re-entering the round-robin warm-up.
+func TestCoordinatorArmScoresSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	coord1, store1 := newTestCoordinator(t, dir, clock)
+	spec, err := coord1.Create(Spec{
+		RunSpec: "costas n=16", Shards: 2, Walkers: 1, SnapshotIters: 64,
+		Arms: []string{"adaptive", "tabu"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heartbeat(t, coord1, HeartbeatRequest{WorkerID: "w1", Capacity: 2})
+	cp0 := testCheckpoint(spec.ID, 0, 1)
+	cp0.Walkers = cp0.Walkers[:1]
+	cp0.Method, cp0.BestCost = "adaptive", 7
+	cp1 := testCheckpoint(spec.ID, 1, 1)
+	cp1.Walkers = cp1.Walkers[:1]
+	cp1.Method, cp1.BestCost = "tabu", 3
+	heartbeat(t, coord1, HeartbeatRequest{
+		WorkerID: "w1", Capacity: 2,
+		Running:     []ShardRef{{spec.ID, 0}, {spec.ID, 1}},
+		Checkpoints: []Checkpoint{cp0, cp1},
+	})
+	store1.Close()
+
+	coord2, _ := newTestCoordinator(t, dir, clock)
+	resp := heartbeat(t, coord2, HeartbeatRequest{WorkerID: "w2", Capacity: 2})
+	if len(resp.Assign) != 2 {
+		t.Fatalf("got %d assignments, want 2", len(resp.Assign))
+	}
+	for _, asg := range resp.Assign {
+		want := "tabu"
+		if asg.Shard == 1 { // last shard explores the runner-up
+			want = "adaptive"
+		}
+		if asg.Method != want {
+			t.Fatalf("restarted coordinator assigned shard %d arm %q, want %q", asg.Shard, asg.Method, want)
+		}
+		if asg.Shard == 0 && (asg.Resume == nil || asg.Resume.Method != "adaptive") {
+			t.Fatalf("shard 0 resume checkpoint lost its arm: %+v", asg.Resume)
+		}
+	}
 }

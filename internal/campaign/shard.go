@@ -37,10 +37,11 @@ import (
 // steps a quantum, then engine 1, …), so the winning (round, walker)
 // pair — and thus the reported Solution — is deterministic too.
 type ShardRunner struct {
-	spec  Spec
-	shard int
-	inst  registry.Instance
-	cfg   walk.Config
+	spec   Spec
+	shard  int
+	method string // arm override ("" = RunSpec's own method)
+	inst   registry.Instance
+	cfg    walk.Config
 
 	engines []csp.Restartable
 	base    []int64 // cumulative iterations per walker at epoch start
@@ -49,9 +50,27 @@ type ShardRunner struct {
 
 // NewShardRunner builds shard's runner, resuming from cp when non-nil
 // (cp must be this shard's checkpoint) and starting fresh otherwise.
+// When resuming a checkpoint that carries a method arm, the shard keeps
+// running that arm.
 func NewShardRunner(spec Spec, shard int, cp *Checkpoint) (*ShardRunner, error) {
+	method := ""
+	if cp != nil {
+		method = cp.Method
+	}
+	return NewShardRunnerMethod(spec, shard, cp, method)
+}
+
+// NewShardRunnerMethod is NewShardRunner with a method-arm override: the
+// shard's engines come from method's factory instead of the run spec's.
+// This is how the coordinator races Spec.Arms across shards — the run
+// spec stays one durable string while each shard walks one arm. An empty
+// method falls back to the checkpoint's arm, then to the run spec.
+func NewShardRunnerMethod(spec Spec, shard int, cp *Checkpoint, method string) (*ShardRunner, error) {
 	if shard < 0 || shard >= spec.Shards {
 		return nil, fmt.Errorf("campaign: shard %d out of range [0,%d)", shard, spec.Shards)
+	}
+	if method == "" && cp != nil {
+		method = cp.Method
 	}
 	inst, opts, err := core.ParseRunSpec(spec.RunSpec, spec.specOptions())
 	if err != nil {
@@ -60,16 +79,27 @@ func NewShardRunner(spec Spec, shard int, cp *Checkpoint) (*ShardRunner, error) 
 	if opts.MaxIterations != 0 {
 		return nil, fmt.Errorf("campaign: run spec %q sets maxiter — campaigns run until solved, cancelled or past deadline", spec.RunSpec)
 	}
+	if method != "" {
+		opts.Method = method
+		opts.Portfolio = nil
+	}
 	cfg, err := core.WalkConfigFor(inst, opts)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
+	if cfg.Allocator != nil {
+		// Racing reallocates walkers INSIDE one scheduler run; a campaign
+		// shard is driven engine-by-engine here and would silently ignore
+		// the allocator. Arms is the campaign-level racing mechanism.
+		return nil, fmt.Errorf("campaign: method=racing is not valid in a campaign run spec — race methods with Spec.Arms instead")
+	}
 	r := &ShardRunner{
-		spec:  spec,
-		shard: shard,
-		inst:  inst,
-		cfg:   cfg,
-		base:  make([]int64, spec.Walkers),
+		spec:   spec,
+		shard:  shard,
+		method: method,
+		inst:   inst,
+		cfg:    cfg,
+		base:   make([]int64, spec.Walkers),
 	}
 	if cp != nil {
 		if cp.Shard != shard {
@@ -125,6 +155,10 @@ func (r *ShardRunner) build(cp *Checkpoint) error {
 // run next).
 func (r *ShardRunner) Epoch() int64 { return r.epoch }
 
+// Method returns the shard's method-arm override ("" when the shard runs
+// the run spec's own method).
+func (r *ShardRunner) Method() string { return r.method }
+
 // RunEpoch advances every walker by exactly SnapshotIters iterations in
 // lockstep quanta of the walk config's CheckEvery, then snapshots.
 //
@@ -174,6 +208,7 @@ func (r *ShardRunner) checkpoint() Checkpoint {
 		CampaignID: r.spec.ID,
 		Shard:      r.shard,
 		Epoch:      r.epoch,
+		Method:     r.method,
 		BestCost:   -1,
 		Walkers:    make([]WalkerState, len(r.engines)),
 		Taken:      time.Now().UTC(),
@@ -213,6 +248,7 @@ func (r *ShardRunner) solution(i int) *Solution {
 		Shard:      r.shard,
 		Walker:     r.shard*r.spec.Walkers + i,
 		Epoch:      r.epoch,
+		Method:     r.method,
 		Iterations: total,
 		Config:     cfg,
 		Found:      time.Now().UTC(),

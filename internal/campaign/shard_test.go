@@ -186,3 +186,40 @@ func TestSpecRejectsUnknownModel(t *testing.T) {
 		t.Fatal("Normalize accepted an unknown model")
 	}
 }
+
+// TestShardRunnerMethodArm: a method-arm override drives the shard with
+// that arm's engines, stamps the arm into every checkpoint, and a plain
+// NewShardRunner resume from such a checkpoint keeps the arm.
+func TestShardRunnerMethodArm(t *testing.T) {
+	spec := Spec{ID: "arm", RunSpec: "costas n=16", Shards: 1, Walkers: 2,
+		SnapshotIters: 128, MasterSeed: 9}
+	r, err := NewShardRunnerMethod(spec, 0, nil, "tabu")
+	if err != nil {
+		t.Fatalf("NewShardRunnerMethod: %v", err)
+	}
+	cp, sol, err := r.RunEpoch(context.Background())
+	if err != nil || sol != nil {
+		t.Fatalf("epoch: cp=%+v sol=%+v err=%v", cp, sol, err)
+	}
+	if cp.Method != "tabu" {
+		t.Fatalf("checkpoint method = %q, want tabu", cp.Method)
+	}
+
+	resumed, err := NewShardRunner(spec, 0, &cp)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if resumed.Method() != "tabu" {
+		t.Fatalf("resumed runner method = %q, want tabu (inherited from checkpoint)", resumed.Method())
+	}
+}
+
+// TestShardRunnerRejectsRacing: method=racing cannot run inside a
+// campaign shard (Arms is the campaign-level racing mechanism).
+func TestShardRunnerRejectsRacing(t *testing.T) {
+	spec := Spec{ID: "bad", RunSpec: "costas n=16 method=racing", Shards: 1,
+		Walkers: 2, SnapshotIters: 128, MasterSeed: 1}
+	if _, err := NewShardRunner(spec, 0, nil); err == nil {
+		t.Fatal("racing run spec accepted by a campaign shard runner")
+	}
+}

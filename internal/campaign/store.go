@@ -682,6 +682,7 @@ func (s *Store) Status(id string) (Status, bool) {
 			row.Epoch = cp.Epoch
 			row.Iterations = cp.Iterations
 			row.BestCost = cp.BestCost
+			row.Method = cp.Method
 			row.Updated = cp.Taken
 			st.Iterations += cp.Iterations
 			if st.BestCost < 0 || cp.BestCost < st.BestCost {

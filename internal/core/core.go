@@ -44,6 +44,7 @@ import (
 	"repro/internal/csp"
 	"repro/internal/dialectic"
 	"repro/internal/hillclimb"
+	"repro/internal/race"
 	"repro/internal/tabu"
 	"repro/internal/walk"
 )
@@ -77,11 +78,13 @@ const (
 	MethodHillclimb = "hillclimb"
 	MethodDialectic = "dialectic"
 	MethodPortfolio = "portfolio"
+	MethodRacing    = "racing"
 )
 
-// Methods lists the canonical method names, portfolio last.
+// Methods lists the canonical method names, the meta-methods (portfolio,
+// racing) last.
 func Methods() []string {
-	return []string{MethodAdaptive, MethodTabu, MethodHillclimb, MethodDialectic, MethodPortfolio}
+	return []string{MethodAdaptive, MethodTabu, MethodHillclimb, MethodDialectic, MethodPortfolio, MethodRacing}
 }
 
 // Options selects the instance, the search method and the execution mode.
@@ -92,13 +95,16 @@ type Options struct {
 	N int
 
 	// Method selects the search method: "adaptive" (default; alias "as"),
-	// "tabu", "hillclimb" (alias "hc"), "dialectic" (alias "ds"), or
-	// "portfolio" to mix methods across walkers (see Portfolio).
+	// "tabu", "hillclimb" (alias "hc"), "dialectic" (alias "ds"),
+	// "portfolio" to mix methods statically across walkers (see
+	// Portfolio), or "racing" to let the internal/race allocator
+	// reallocate walkers toward the method winning on this instance at
+	// fixed iteration-window boundaries.
 	Method string
 
 	// Portfolio lists the methods cycled across walkers when Method is
-	// "portfolio" (walker i runs Portfolio[i % len]). Empty means all four
-	// methods in the canonical order.
+	// "portfolio", and the racing arms when Method is "racing". Empty
+	// means all four methods in the canonical order.
 	Portfolio []string
 
 	// Walkers is the number of independent walkers; 0 or 1 solves
@@ -150,6 +156,12 @@ type Options struct {
 	// backends rather than silently dropped; SolveModel rejects any
 	// Backend because model closures cannot be shipped.
 	Backend Backend
+
+	// racePreferred seeds the racing allocator's initial split toward a
+	// method that previously won on this model/size (from the registry's
+	// runtime tuning store). Set by SolveInstance only — it is a learned
+	// hint, not caller configuration, hence unexported.
+	racePreferred string
 }
 
 // Result reports a solve outcome.
@@ -175,6 +187,14 @@ type Result struct {
 	Cancelled bool
 	// Stats holds per-walker engine counters.
 	Stats []csp.Stats
+	// MethodStats attributes the run's work to canonical method names:
+	// per-walker totals for the static modes, windowed racing attribution
+	// (the allocator's per-arm csp.Stats deltas) for method=racing. The
+	// /metrics endpoint aggregates these per process.
+	MethodStats map[string]csp.Stats
+	// WinnerMethod is the canonical method the winning walker was running
+	// when it solved ("" while unsolved).
+	WinnerMethod string
 }
 
 // normalizeMethod maps a method name or alias to its canonical name.
@@ -190,8 +210,10 @@ func normalizeMethod(method string) (string, error) {
 		return MethodDialectic, nil
 	case MethodPortfolio:
 		return MethodPortfolio, nil
+	case "race", MethodRacing:
+		return MethodRacing, nil
 	default:
-		return "", fmt.Errorf("core: unknown method %q (want adaptive, tabu, hillclimb, dialectic or portfolio)", method)
+		return "", fmt.Errorf("core: unknown method %q (want adaptive, tabu, hillclimb, dialectic, portfolio or racing)", method)
 	}
 }
 
@@ -216,17 +238,37 @@ func methodFactory(method string, adaptiveParams adaptive.Params, opts Options) 
 	}
 }
 
-// walkConfig resolves opts into the multi-walk configuration: canonical
-// method, engine factory (or portfolio slice) and run parameters.
-// adaptiveDefaults supplies the Adaptive Search parameter set used when
-// opts.Params is nil (CAP-tuned in Solve, engine defaults in SolveModel).
-func walkConfig(opts Options, adaptiveDefaults adaptive.Params) (walk.Config, error) {
+// runPlan is a resolved walk configuration plus the method bookkeeping
+// the facade layers on top: the canonical method name per portfolio slot
+// (for per-method stats attribution) and, for method=racing, the racing
+// controller driving the walk's Allocator hook.
+type runPlan struct {
+	cfg walk.Config
+	// methods holds the canonical method per Portfolio slot (the racing
+	// arm names), or exactly one entry for single-method runs. Walker i
+	// runs methods[i%len(methods)] in the static modes.
+	methods []string
+	// ctrl is the racing controller for method=racing, nil otherwise.
+	ctrl *race.Controller
+}
+
+// walkerMethod returns the canonical method walker i started on.
+func (p runPlan) walkerMethod(i int) string {
+	return p.methods[i%len(p.methods)]
+}
+
+// buildPlan resolves opts into the multi-walk run plan: canonical
+// method(s), engine factory (or portfolio/arm slice), racing controller
+// and run parameters. adaptiveDefaults supplies the Adaptive Search
+// parameter set used when opts.Params is nil (CAP-tuned in Solve, engine
+// defaults in SolveModel, registry-tuned in SolveInstance).
+func buildPlan(opts Options, adaptiveDefaults adaptive.Params) (runPlan, error) {
 	if opts.Walkers < 0 {
-		return walk.Config{}, fmt.Errorf("core: negative walker count %d", opts.Walkers)
+		return runPlan{}, fmt.Errorf("core: negative walker count %d", opts.Walkers)
 	}
 	method, err := normalizeMethod(opts.Method)
 	if err != nil {
-		return walk.Config{}, err
+		return runPlan{}, err
 	}
 
 	params := adaptiveDefaults
@@ -244,16 +286,17 @@ func walkConfig(opts Options, adaptiveDefaults adaptive.Params) (walk.Config, er
 	if seed == 0 {
 		seed = 1
 	}
-	cfg := walk.Config{
+	plan := runPlan{cfg: walk.Config{
 		Walkers:    opts.Walkers,
 		CheckEvery: opts.CheckEvery,
 		MasterSeed: seed,
-	}
+	}}
 
-	if method != MethodPortfolio && len(opts.Portfolio) > 0 {
-		return walk.Config{}, fmt.Errorf("core: Options.Portfolio set but Method is %q (want \"portfolio\")", method)
+	multi := method == MethodPortfolio || method == MethodRacing
+	if !multi && len(opts.Portfolio) > 0 {
+		return runPlan{}, fmt.Errorf("core: Options.Portfolio set but Method is %q (want \"portfolio\" or \"racing\")", method)
 	}
-	if method == MethodPortfolio {
+	if multi {
 		names := opts.Portfolio
 		if len(names) == 0 {
 			names = []string{MethodAdaptive, MethodTabu, MethodHillclimb, MethodDialectic}
@@ -261,22 +304,44 @@ func walkConfig(opts Options, adaptiveDefaults adaptive.Params) (walk.Config, er
 		for _, name := range names {
 			canonical, err := normalizeMethod(name)
 			if err != nil {
-				return walk.Config{}, err
+				return runPlan{}, err
 			}
-			if canonical == MethodPortfolio {
-				return walk.Config{}, fmt.Errorf("core: portfolio cannot nest %q", name)
+			if canonical == MethodPortfolio || canonical == MethodRacing {
+				return runPlan{}, fmt.Errorf("core: %s cannot nest %q", method, name)
 			}
 			f, err := methodFactory(canonical, params, opts)
 			if err != nil {
-				return walk.Config{}, err
+				return runPlan{}, err
 			}
-			cfg.Portfolio = append(cfg.Portfolio, f)
+			plan.cfg.Portfolio = append(plan.cfg.Portfolio, f)
+			plan.methods = append(plan.methods, canonical)
 		}
-		return cfg, nil
+		if method == MethodRacing {
+			walkers := opts.Walkers
+			if walkers < 1 {
+				walkers = 1
+			}
+			plan.ctrl = race.NewController(plan.methods, race.Config{
+				Walkers:   walkers,
+				Seed:      seed,
+				Preferred: opts.racePreferred,
+			})
+			plan.cfg.Allocator = plan.ctrl
+		}
+		return plan, nil
 	}
 
-	cfg.Factory, err = methodFactory(method, params, opts)
-	return cfg, err
+	plan.cfg.Factory, err = methodFactory(method, params, opts)
+	plan.methods = []string{method}
+	return plan, err
+}
+
+// walkConfig resolves opts into the multi-walk configuration alone; the
+// campaign layer (core.WalkConfigFor) drives engines itself and only
+// needs the factories and seed derivation.
+func walkConfig(opts Options, adaptiveDefaults adaptive.Params) (walk.Config, error) {
+	plan, err := buildPlan(opts, adaptiveDefaults)
+	return plan.cfg, err
 }
 
 // Validate reports whether opts describes a runnable solver configuration
@@ -311,21 +376,26 @@ func SolveModel(ctx context.Context, newModel func() csp.Model, opts Options) (R
 }
 
 // solveWith is the shared run path of Solve and SolveModel: resolve the
-// walk configuration, pick the execution mode, and repackage the result.
+// run plan, pick the execution mode, and repackage the result with its
+// per-method attribution.
 func solveWith(ctx context.Context, newModel func() csp.Model, opts Options, adaptiveDefaults adaptive.Params) (Result, error) {
-	cfg, err := walkConfig(opts, adaptiveDefaults)
+	plan, err := buildPlan(opts, adaptiveDefaults)
 	if err != nil {
 		return Result{}, err
+	}
+	if plan.ctrl != nil {
+		plan.ctrl.Activate()
+		defer plan.ctrl.Close()
 	}
 
 	var wres walk.Result
 	if opts.Virtual && opts.Walkers > 1 {
-		wres = walk.Virtual(ctx, newModel, cfg, 0)
+		wres = walk.Virtual(ctx, newModel, plan.cfg, 0)
 	} else {
-		wres = walk.Parallel(ctx, newModel, cfg)
+		wres = walk.Parallel(ctx, newModel, plan.cfg)
 	}
 
-	return Result{
+	res := Result{
 		Solved:          wres.Solved,
 		Array:           wres.Solution,
 		Winner:          wres.Winner,
@@ -334,7 +404,30 @@ func solveWith(ctx context.Context, newModel func() csp.Model, opts Options, ada
 		WallTime:        wres.WallTime,
 		Cancelled:       wres.Cancelled,
 		Stats:           wres.Stats,
-	}, nil
+	}
+	if plan.ctrl != nil {
+		// Racing: the allocator's windowed attribution is exact — walkers
+		// change methods mid-run, so per-walker totals cannot be used.
+		res.MethodStats = plan.ctrl.ArmStats()
+		if res.Solved {
+			if m, ok := plan.ctrl.ArmOf(wres.Winner); ok {
+				res.WinnerMethod = m
+			}
+		}
+	} else {
+		res.MethodStats = make(map[string]csp.Stats, len(plan.methods))
+		for _, m := range plan.methods {
+			res.MethodStats[m] = csp.Stats{}
+		}
+		for i, st := range wres.Stats {
+			m := plan.walkerMethod(i)
+			res.MethodStats[m] = res.MethodStats[m].Add(st)
+		}
+		if res.Solved {
+			res.WinnerMethod = plan.walkerMethod(wres.Winner)
+		}
+	}
+	return res, nil
 }
 
 // Solve runs the solver described by opts on the Costas Array Problem of

@@ -55,6 +55,27 @@ func (s Stats) Sub(prev Stats) Stats {
 	}
 }
 
+// Add returns the field-wise sum of two counter blocks — the inverse of
+// Sub, used by layers that accumulate windowed deltas back into totals
+// (the racing allocator's per-arm attribution, a walker's lifetime stats
+// across engine incarnations).
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Iterations:   s.Iterations + o.Iterations,
+		Evaluations:  s.Evaluations + o.Evaluations,
+		LocalMinima:  s.LocalMinima + o.LocalMinima,
+		Resets:       s.Resets + o.Resets,
+		Restarts:     s.Restarts + o.Restarts,
+		Swaps:        s.Swaps + o.Swaps,
+		PlateauMoves: s.PlateauMoves + o.PlateauMoves,
+		UphillMoves:  s.UphillMoves + o.UphillMoves,
+		Moves:        s.Moves + o.Moves,
+		Aspirations:  s.Aspirations + o.Aspirations,
+		Rounds:       s.Rounds + o.Rounds,
+		Descents:     s.Descents + o.Descents,
+	}
+}
+
 // Engine is one resumable local-search walker over one Model instance.
 // Engines are created solved-aware (a random initial configuration can
 // already be a solution) and are not safe for concurrent use; parallel

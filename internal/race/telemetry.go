@@ -1,0 +1,79 @@
+package race
+
+// Live telemetry: the /metrics endpoint (internal/service) reports the
+// racing allocator's current walker allocation and arm scores without
+// holding a reference to any particular run. Controllers register
+// themselves for the duration of a run (Activate/Close); Live aggregates
+// whatever is racing right now.
+
+import "sync"
+
+var (
+	liveMu    sync.Mutex
+	liveRuns  = map[*Controller]struct{}{}
+	totalRuns int64
+)
+
+// Activate registers the controller with the live telemetry; the caller
+// must pair it with Close when the run ends.
+func (c *Controller) Activate() {
+	liveMu.Lock()
+	defer liveMu.Unlock()
+	liveRuns[c] = struct{}{}
+	totalRuns++
+}
+
+// Close deregisters the controller from the live telemetry. Idempotent.
+func (c *Controller) Close() {
+	liveMu.Lock()
+	defer liveMu.Unlock()
+	delete(liveRuns, c)
+}
+
+// LiveStatus is the expvar-shaped snapshot /metrics publishes.
+type LiveStatus struct {
+	// ActiveRuns counts racing runs currently in flight.
+	ActiveRuns int `json:"active_runs"`
+	// TotalRuns counts racing runs started since process start.
+	TotalRuns int64 `json:"total_runs"`
+	// Allocation sums the current walkers-per-arm split across active
+	// runs.
+	Allocation map[string]int `json:"allocation,omitempty"`
+	// Scores averages the per-arm EMA cost scores (lower is better)
+	// across the active runs that have scored the arm.
+	Scores map[string]float64 `json:"scores,omitempty"`
+}
+
+// Live returns the aggregated telemetry of all active racing runs.
+func Live() LiveStatus {
+	liveMu.Lock()
+	ctrls := make([]*Controller, 0, len(liveRuns))
+	for c := range liveRuns {
+		ctrls = append(ctrls, c)
+	}
+	st := LiveStatus{ActiveRuns: len(ctrls), TotalRuns: totalRuns}
+	liveMu.Unlock()
+
+	if len(ctrls) == 0 {
+		return st
+	}
+	st.Allocation = map[string]int{}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, c := range ctrls {
+		for arm, n := range c.Allocation() {
+			st.Allocation[arm] += n
+		}
+		for arm, s := range c.Scores() {
+			sums[arm] += s
+			counts[arm]++
+		}
+	}
+	if len(sums) > 0 {
+		st.Scores = make(map[string]float64, len(sums))
+		for arm, s := range sums {
+			st.Scores[arm] = s / float64(counts[arm])
+		}
+	}
+	return st
+}

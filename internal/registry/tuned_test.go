@@ -1,0 +1,116 @@
+package registry
+
+import (
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/costas"
+	"repro/internal/csp"
+)
+
+// tunedTestRegistry builds a private registry with one entry so the
+// runtime tuning store can be exercised without mutating Default (whose
+// tuned store is live process state shared with every other test).
+func tunedTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := New()
+	err := r.Register(Entry{
+		Name:        "toy",
+		Description: "tuning store fixture",
+		Params:      []Param{{Name: "n", Description: "size", Default: 4, Min: 2}},
+		Build: func(p map[string]int) (func() csp.Model, error) {
+			n := p["n"]
+			return func() csp.Model { return costas.New(n, costas.Options{}) }, nil
+		},
+		Valid: func(p map[string]int, cfg []int) bool { return costas.IsCostas(cfg) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestTunedForNearestSizeFallback(t *testing.T) {
+	r := New()
+	r.RecordTuned("m", 13, Tuning{Method: "tabu"})
+	r.RecordTuned("m", 24, Tuning{Method: "adaptive"})
+
+	if tn, at, ok := r.TunedFor("m", 13); !ok || at != 13 || tn.Method != "tabu" {
+		t.Fatalf("exact lookup = (%+v, %d, %v), want the size-13 record", tn, at, ok)
+	}
+	// 16 is 3 from 13 and 8 from 24: nearest wins.
+	if tn, at, ok := r.TunedFor("m", 16); !ok || at != 13 || tn.Method != "tabu" {
+		t.Fatalf("nearest lookup for 16 = (%+v, %d, %v), want the size-13 record", tn, at, ok)
+	}
+	// 21 is 8 from 13 and 3 from 24.
+	if tn, at, ok := r.TunedFor("m", 21); !ok || at != 24 || tn.Method != "adaptive" {
+		t.Fatalf("nearest lookup for 21 = (%+v, %d, %v), want the size-24 record", tn, at, ok)
+	}
+	// Equidistant ties go to the smaller size.
+	r.RecordTuned("tie", 10, Tuning{Method: "tabu"})
+	r.RecordTuned("tie", 20, Tuning{Method: "adaptive"})
+	if tn, at, ok := r.TunedFor("tie", 15); !ok || at != 10 || tn.Method != "tabu" {
+		t.Fatalf("tie lookup = (%+v, %d, %v), want the smaller size-10 record", tn, at, ok)
+	}
+	// Unknown model: no record.
+	if _, _, ok := r.TunedFor("ghost", 10); ok {
+		t.Fatal("lookup on an untuned model returned a record")
+	}
+}
+
+func TestRecordTunedMergesWinsAndOverrides(t *testing.T) {
+	r := New()
+	r.RecordTuned("m", 16, Tuning{Method: "tabu"})
+	r.RecordTuned("m", 16, Tuning{Method: "tabu"})
+	if tn, _, _ := r.TunedFor("m", 16); tn.Wins != 2 {
+		t.Fatalf("wins = %d, want 2 accumulated", tn.Wins)
+	}
+	// A later win by a different method overwrites the method but keeps
+	// accumulating wins; a record without params leaves stored params.
+	p := adaptive.Params{}
+	r.RecordTuned("m", 16, Tuning{Method: "adaptive", Params: &p})
+	r.RecordTuned("m", 16, Tuning{Method: ""})
+	tn, _, _ := r.TunedFor("m", 16)
+	if tn.Method != "adaptive" || tn.Params == nil || tn.Wins != 4 {
+		t.Fatalf("merged record = %+v, want method adaptive, params kept, 4 wins", tn)
+	}
+}
+
+// TestPreferredMethodGeneralisesAcrossSizesButParamsDoNot pins the
+// size-discipline split: a racing win at one size seeds the racing
+// portfolio's preferred arm at OTHER sizes of the same model
+// (PreferredMethod uses the nearest record), while parameter overrides
+// apply only at EXACTLY the recorded size (TunedParams refuses the
+// nearest-size fallback).
+func TestPreferredMethodGeneralisesAcrossSizesButParamsDoNot(t *testing.T) {
+	r := tunedTestRegistry(t)
+
+	inst6, err := r.BuildSpec("toy n=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inst6.PreferredMethod(); got != "" {
+		t.Fatalf("preferred method before any win = %q, want none", got)
+	}
+
+	// A racing win at size 8 (what RecordWin persists).
+	inst8, err := r.BuildSpec("toy n=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst8.RecordWin(8, "tabu")
+
+	if got := inst8.PreferredMethod(); got != "tabu" {
+		t.Fatalf("preferred method at the recorded size = %q, want tabu", got)
+	}
+	if got := inst6.PreferredMethod(); got != "tabu" {
+		t.Fatalf("preferred method at a nearby size = %q, want the nearest-size hint tabu", got)
+	}
+
+	// Tuned parameters recorded at size 8 must NOT leak to size 6.
+	params := adaptive.Params{}
+	r.RecordTuned("toy", 8, Tuning{Params: &params})
+	if _, ok := inst6.TunedParams(); ok {
+		t.Fatal("runtime-tuned params recorded at size 8 applied to size 6 (entry declares no static Tuned)")
+	}
+}

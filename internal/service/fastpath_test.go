@@ -51,6 +51,16 @@ type fastPathMetrics struct {
 	Latency      map[string]struct {
 		Count int64 `json:"count"`
 	} `json:"latency"`
+	PerMethod map[string]struct {
+		Iterations int64 `json:"iterations"`
+		Restarts   int64 `json:"restarts"`
+		Solves     int64 `json:"solves"`
+	} `json:"per_method"`
+	Racing struct {
+		ActiveRuns int64          `json:"active_runs"`
+		TotalRuns  int64          `json:"total_runs"`
+		Allocation map[string]int `json:"allocation"`
+	} `json:"racing"`
 }
 
 func scrapeMetrics(t testing.TB, url string) fastPathMetrics {
@@ -320,5 +330,50 @@ func TestAsyncSolveServedFromCache(t *testing.T) {
 	}
 	if m := scrapeMetrics(t, ts.URL); m.SolvesTotal != 1 {
 		t.Fatalf("solves_total = %d, want 1 (async repeat must replay)", m.SolvesTotal)
+	}
+}
+
+// TestPerMethodMetrics: completed solves attribute work per engine
+// method in /metrics — a plain adaptive solve shows up under "adaptive",
+// and a racing solve spreads attributed iterations over its arms while
+// counting exactly one solve under the winning arm. The racing lifetime
+// counter ticks too.
+func TestPerMethodMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	var plain SolveResponse
+	if code := postJSON(t, ts.URL+"/v1/solve", costasReq(12, 7, 0), &plain); code != http.StatusOK || !plain.Solved {
+		t.Fatalf("plain solve: code %d, %+v", code, plain)
+	}
+
+	racingReq := SolveRequest{
+		Model:   registry.Spec{Name: "costas", Params: map[string]int{"n": 12}},
+		Options: OptionsJSON{Method: "racing", Walkers: 4, Virtual: true, Seed: 11},
+	}
+	var raced SolveResponse
+	if code := postJSON(t, ts.URL+"/v1/solve", racingReq, &raced); code != http.StatusOK || !raced.Solved {
+		t.Fatalf("racing solve: code %d, %+v", code, raced)
+	}
+
+	m := scrapeMetrics(t, ts.URL)
+	if c, ok := m.PerMethod["adaptive"]; !ok || c.Iterations <= 0 {
+		t.Fatalf("per_method.adaptive missing or empty: %+v", m.PerMethod)
+	}
+	var iters, solves int64
+	for _, c := range m.PerMethod {
+		iters += c.Iterations
+		solves += c.Solves
+	}
+	if solves != 2 {
+		t.Fatalf("per-method solves sum to %d, want 2: %+v", solves, m.PerMethod)
+	}
+	if iters <= plain.Iterations {
+		t.Fatalf("per-method iterations %d do not cover both solves (plain alone was %d)", iters, plain.Iterations)
+	}
+	if m.Racing.TotalRuns < 1 {
+		t.Fatalf("racing.total_runs = %d after a racing solve, want >= 1", m.Racing.TotalRuns)
+	}
+	if m.Racing.ActiveRuns != 0 {
+		t.Fatalf("racing.active_runs = %d at rest, want 0", m.Racing.ActiveRuns)
 	}
 }

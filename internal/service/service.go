@@ -61,6 +61,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/race"
 	"repro/internal/registry"
 	"repro/internal/servecache"
 )
@@ -313,6 +314,16 @@ type Server struct {
 	perModel   map[string]int64 // completed solves per model name
 	solves     int64            // completed solve operations (batch jobs count singly)
 	iterations int64            // Σ TotalIterations over completed solves
+	perMethod  map[string]*methodCounters
+}
+
+// methodCounters accumulates per-engine-method work across completed
+// solves — the per-method view /metrics publishes and the racing
+// allocator's tuning loop observes fleet-wide.
+type methodCounters struct {
+	iterations int64 // Σ attributed iterations
+	restarts   int64 // Σ attributed restarts (incl. racing arm switches)
+	solves     int64 // completed solves won by this method
 }
 
 // New returns a ready server (no listener — pair Handler with
@@ -321,15 +332,16 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		sem:      newPrioSem(cfg.Workers),
-		baseCtx:  ctx,
-		cancel:   cancel,
-		jobs:     map[string]*job{},
-		started:  time.Now(),
-		perModel: map[string]int64{},
-		latency:  map[string]*latencyHist{},
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		sem:       newPrioSem(cfg.Workers),
+		baseCtx:   ctx,
+		cancel:    cancel,
+		jobs:      map[string]*job{},
+		started:   time.Now(),
+		perModel:  map[string]int64{},
+		perMethod: map[string]*methodCounters{},
+		latency:   map[string]*latencyHist{},
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = servecache.New(cfg.CacheSize)
@@ -574,17 +586,37 @@ func (s *Server) solveInstance(ctx context.Context, inst registry.Instance, opts
 	opts.Backend = s.cfg.Backend
 	res, err := core.SolveInstance(ctx, inst, opts)
 	if err == nil {
-		s.recordSolve(inst.Spec.Name, res.TotalIterations)
+		s.recordSolve(inst.Spec.Name, res)
 	}
 	return res, err
 }
 
-// recordSolve feeds the /metrics counters after a completed solve.
-func (s *Server) recordSolve(model string, iterations int64) {
+// recordSolve feeds the /metrics counters after a completed solve,
+// including the per-method attribution core fills for every local run
+// (a racing solve attributes windowed deltas per arm; a plain solve
+// attributes each walker's lifetime stats to its method).
+func (s *Server) recordSolve(model string, res core.Result) {
 	s.mu.Lock()
 	s.perModel[model]++
 	s.solves++
-	s.iterations += iterations
+	s.iterations += res.TotalIterations
+	for method, st := range res.MethodStats {
+		c := s.perMethod[method]
+		if c == nil {
+			c = &methodCounters{}
+			s.perMethod[method] = c
+		}
+		c.iterations += st.Iterations
+		c.restarts += st.Restarts
+	}
+	if res.Solved && res.WinnerMethod != "" {
+		c := s.perMethod[res.WinnerMethod]
+		if c == nil {
+			c = &methodCounters{}
+			s.perMethod[res.WinnerMethod] = c
+		}
+		c.solves++
+	}
 	s.mu.Unlock()
 }
 
@@ -825,7 +857,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		for i, jr := range res.Jobs {
 			if jr.Err == nil {
-				s.recordSolve(names[i], jr.Result.TotalIterations)
+				s.recordSolve(names[i], jr.Result)
 			}
 		}
 		return batchResponse(models, res), nil
@@ -1041,6 +1073,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for name, n := range s.perModel {
 		perModel[name] = n
 	}
+	perMethod := make(map[string]map[string]int64, len(s.perMethod))
+	for method, c := range s.perMethod {
+		perMethod[method] = map[string]int64{
+			"iterations": c.iterations,
+			"restarts":   c.restarts,
+			"solves":     c.solves,
+		}
+	}
 	inflight := s.inflight
 	stored := len(s.jobs)
 	solves := s.solves
@@ -1059,6 +1099,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"queue_depth":        s.sem.depth(),
 		"jobs_store_size":    stored,
 		"per_model_solves":   perModel,
+		"per_method":         perMethod,
+		"racing":             race.Live(),
 		"solves_total":       solves,
 		"total_iterations":   iterations,
 		"workers":            s.cfg.Workers,

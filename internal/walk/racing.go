@@ -1,0 +1,242 @@
+package walk
+
+// Racing-portfolio execution: the window loop behind Config.Allocator.
+//
+// A racing run is the independent multi-walk of §V-A with one twist: the
+// walker→method assignment is re-decided every fixed iteration window
+// instead of being pinned at start. The loop here is a thin driver over
+// the SAME scheduler core as every other mode — each window is one
+// run-to-cap invocation of runLockstep/runReal (schedule.capIters parks
+// every walker after exactly `window` iterations), after which the
+// Allocator observes the windowed csp.Stats deltas and boundary costs and
+// returns the next assignment.
+//
+// Reassignment reuses the csp.Restartable rebuild path the campaign layer
+// already relies on: a walker moving to a new arm gets a FRESH engine
+// from the new arm's factory (seeded deterministically from the master
+// seed and the window index) re-armed with RestartFrom(current
+// configuration) — so the walker keeps its search position, its virtual
+// time (carried in Result accounting and in the lockstep winner
+// resolution) and counts one genuine restart.
+//
+// Determinism: in lockstep mode the per-window scheduler calls are
+// deterministic for any MaxParallelism (see scheduler.go), the loop body
+// runs on one goroutine, seeds derive from (MasterSeed, window), and the
+// Allocator contract requires decisions to be pure functions of the
+// observations — so a fixed-seed racing run reproduces bit for bit:
+// same winner, same stats, same allocation schedule.
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/csp"
+	"repro/internal/rng"
+)
+
+// defaultRacingWindow is the reallocation cadence used when the Allocator
+// returns a non-positive Window().
+const defaultRacingWindow = 256
+
+// windowSeed derives the seed material for engines rebuilt at the start
+// of window w. Window 0 uses the master seed untouched, so the walkers
+// that stay on their initial arm walk exactly the trajectories a plain
+// (non-racing) run with the same seed would. Later windows mix the window
+// index with the same golden-ratio odd mixer the campaign epochs use.
+func windowSeed(master uint64, w int) uint64 {
+	if w == 0 {
+		return master
+	}
+	return master ^ (uint64(w) * 0x9E3779B97F4A7C15)
+}
+
+// runRacing drives a racing-portfolio run in the given execution mode.
+// maxVirtual bounds each walker's virtual time in lockstep mode
+// (0 = unlimited); it is ignored in real mode, matching Parallel.
+func runRacing(ctx context.Context, newModel func() csp.Model, cfg Config, mode runMode, maxVirtual int64) Result {
+	start := time.Now()
+	arms := len(cfg.Portfolio)
+	if arms == 0 {
+		panic("walk: Config.Allocator requires a non-empty Config.Portfolio (the arm factories)")
+	}
+	assign := nextAssignment(cfg.Allocator, 0, cfg.Walkers, arms)
+	seeds := rng.NewChaoticSeeder(cfg.MasterSeed).Seeds(cfg.Walkers)
+	engines := make([]csp.Engine, cfg.Walkers)
+	for i := range engines {
+		engines[i] = cfg.Portfolio[assign[i]](newModel(), seeds[i])
+	}
+	// carry accumulates the counters of engines replaced at window
+	// boundaries, so per-walker Result.Stats and the winner's virtual time
+	// cover the walker's whole life, not just its last engine incarnation.
+	carry := make([]csp.Stats, cfg.Walkers)
+	base := make([]int64, cfg.Walkers) // carry[i].Iterations, for the lockstep winner
+
+	// A random initial configuration can already be a solution (always for
+	// n ≤ 2) — same up-front detection as run().
+	for i, e := range engines {
+		if e.Solved() {
+			return collectRacing(engines, carry, i, start, false)
+		}
+	}
+
+	workers := cfg.MaxParallelism
+	if workers > len(engines) {
+		workers = len(engines)
+	}
+
+	var virtualTime int64 // completed window time per walker (lockstep budget accounting)
+	// prev[i] holds the stats of walker i's CURRENT engine incarnation
+	// that earlier windows already observed — zero for a fresh engine. It
+	// advances after each Observe and resets on migration, so the deltas
+	// fed to the Allocator tile each incarnation's counters exactly: the
+	// restart a migration charges (csp.Restartable.RestartFrom counts one)
+	// lands in the next window's delta, and the windowed deltas summed
+	// over a run equal the per-walker lifetime totals in Result.Stats.
+	prev := make([]csp.Stats, cfg.Walkers)
+	caps := make([]int64, cfg.Walkers)
+	for w := 0; ; w++ {
+		win := cfg.Allocator.Window(w)
+		if win < 1 {
+			win = defaultRacingWindow
+		}
+		if mode == modeLockstep && maxVirtual > 0 {
+			if rem := maxVirtual - virtualTime; rem < win {
+				win = rem
+			}
+			if win <= 0 {
+				return collectRacing(engines, carry, -1, start, false)
+			}
+		}
+		for i, e := range engines {
+			caps[i] = e.Stats().Iterations + win
+		}
+		s := schedule{
+			mode:     mode,
+			quantum:  cfg.CheckEvery,
+			workers:  workers,
+			capIters: caps,
+			base:     base,
+		}
+		var winner int
+		if mode == modeLockstep {
+			winner = runLockstep(ctx, engines, s)
+		} else {
+			winner = runReal(ctx, engines, s)
+		}
+		virtualTime += win
+
+		obs := make([]WalkerObs, cfg.Walkers)
+		for i, e := range engines {
+			s := e.Stats()
+			obs[i] = WalkerObs{Arm: assign[i], Delta: s.Sub(prev[i]), Cost: e.Cost()}
+			prev[i] = s
+		}
+		cfg.Allocator.Observe(w, obs)
+
+		if winner >= 0 {
+			return collectRacing(engines, carry, winner, start, false)
+		}
+		if ctx.Err() != nil {
+			cancelled := false
+			for _, e := range engines {
+				if !e.Exhausted() {
+					cancelled = true
+					break
+				}
+			}
+			return collectRacing(engines, carry, -1, start, cancelled)
+		}
+		allDead := true
+		for _, e := range engines {
+			if !e.Exhausted() {
+				allDead = false
+				break
+			}
+		}
+		if allDead {
+			return collectRacing(engines, carry, -1, start, false)
+		}
+		if mode == modeLockstep && maxVirtual > 0 && virtualTime >= maxVirtual {
+			// The virtual budget just ran out: no further window will run,
+			// so reassigning (and paying restarts nobody observes) would
+			// only distort the final stats.
+			return collectRacing(engines, carry, -1, start, false)
+		}
+
+		// Reassignment: walkers moving arms get a fresh engine re-armed
+		// from their current configuration. An engine that cannot restart
+		// (no csp.Restartable) or has exhausted its budget stays put — a
+		// rebuild would lose its position or silently refresh its budget.
+		next := nextAssignment(cfg.Allocator, w+1, cfg.Walkers, arms)
+		var wseeds []uint64
+		for i := range engines {
+			if next[i] == assign[i] {
+				continue
+			}
+			old := engines[i]
+			if old.Exhausted() {
+				next[i] = assign[i]
+				continue
+			}
+			if wseeds == nil {
+				wseeds = rng.NewChaoticSeeder(windowSeed(cfg.MasterSeed, w+1)).Seeds(cfg.Walkers)
+			}
+			fresh := cfg.Portfolio[next[i]](newModel(), wseeds[i])
+			re, ok := fresh.(csp.Restartable)
+			if !ok {
+				next[i] = assign[i]
+				continue
+			}
+			re.RestartFrom(old.Solution())
+			carry[i] = carry[i].Add(old.Stats())
+			base[i] = carry[i].Iterations
+			engines[i] = re
+			prev[i] = csp.Stats{} // fresh incarnation: nothing observed yet
+		}
+		assign = next
+
+		// A restart can land on a solution; resolve it on virtual time
+		// exactly like a lockstep round would.
+		if w := lockstepWinner(engines, base); w >= 0 {
+			return collectRacing(engines, carry, w, start, false)
+		}
+	}
+}
+
+// nextAssignment fetches and validates the Allocator's assignment for
+// window w. A misbehaving allocator is a programming error on par with a
+// missing factory — fail loudly.
+func nextAssignment(a Allocator, w, walkers, arms int) []int {
+	assign := a.Assign(w)
+	if len(assign) != walkers {
+		panic("walk: Allocator.Assign returned wrong walker count")
+	}
+	for _, arm := range assign {
+		if arm < 0 || arm >= arms {
+			panic("walk: Allocator.Assign returned arm index out of range")
+		}
+	}
+	return assign
+}
+
+// collectRacing assembles a racing Result: per-walker stats are the
+// lifetime sums across engine incarnations (carry + current engine), and
+// the winner's iteration count is its true virtual time.
+func collectRacing(engines []csp.Engine, carry []csp.Stats, winner int, start time.Time, cancelled bool) Result {
+	res := Result{
+		Winner:    winner,
+		WallTime:  time.Since(start),
+		Cancelled: cancelled,
+		Stats:     make([]csp.Stats, len(engines)),
+	}
+	for i, e := range engines {
+		res.Stats[i] = carry[i].Add(e.Stats())
+		res.TotalIterations += res.Stats[i].Iterations
+	}
+	if winner >= 0 {
+		res.Solved = true
+		res.Solution = engines[winner].Solution()
+		res.WinnerIterations = res.Stats[winner].Iterations
+	}
+	return res
+}

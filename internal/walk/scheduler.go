@@ -73,6 +73,27 @@ type schedule struct {
 	// iteration budgets bound the run.
 	maxVirtual int64
 	policy     policy
+	// capIters, when non-nil, parks engine i once its own iteration
+	// counter reaches capIters[i]: steps are clamped to the remainder and
+	// a fully parked field ends the run with no winner. The racing window
+	// loop (racing.go) uses this to advance every walker by exactly one
+	// reallocation window in both execution modes.
+	capIters []int64
+	// base holds per-walker virtual-time offsets added to the engines' own
+	// iteration counters when the lockstep winner is resolved. The racing
+	// loop rebuilds engines mid-run (fresh counters), carrying the replaced
+	// engines' iterations here so the winner is still decided on true
+	// virtual time. Nil means no offsets.
+	base []int64
+}
+
+// capRemaining returns how many iterations engine i may still run before
+// its cap parks it (and whether a cap applies at all).
+func (s schedule) capRemaining(i int, e csp.Engine) (int64, bool) {
+	if s.capIters == nil {
+		return 0, false
+	}
+	return s.capIters[i] - e.Stats().Iterations, true
 }
 
 // run is the single scheduler loop behind Parallel, Virtual and
@@ -148,8 +169,17 @@ func runReal(ctx context.Context, engines []csp.Engine, s schedule) int {
 					if e.Solved() || e.Exhausted() {
 						continue
 					}
+					step := s.quantum
+					if rem, capped := s.capRemaining(i, e); capped {
+						if rem <= 0 {
+							continue // parked at its window cap
+						}
+						if rem < int64(step) {
+							step = int(rem)
+						}
+					}
 					progress = true
-					if e.Step(s.quantum) {
+					if e.Step(step) {
 						claim(i)
 						return
 					}
@@ -194,7 +224,16 @@ func runLockstep(ctx context.Context, engines []csp.Engine, s schedule) int {
 			if e.Solved() || e.Exhausted() {
 				continue
 			}
-			if e.Step(s.quantum) {
+			step := s.quantum
+			if rem, capped := s.capRemaining(i, e); capped {
+				if rem <= 0 {
+					continue // parked at its window cap
+				}
+				if rem < int64(step) {
+					step = int(rem)
+				}
+			}
+			if e.Step(step) {
 				anySolved.Store(true)
 			} else {
 				stepped[i] = true
@@ -252,17 +291,21 @@ func runLockstep(ctx context.Context, engines []csp.Engine, s schedule) int {
 		virtualTime += int64(s.quantum)
 
 		if anySolved.Load() {
-			return lockstepWinner(engines)
+			return lockstepWinner(engines, s.base)
 		}
 		if s.maxVirtual > 0 && virtualTime >= s.maxVirtual {
 			return -1
 		}
 		allDead := true
-		for _, e := range engines {
-			if !e.Solved() && !e.Exhausted() {
-				allDead = false
-				break
+		for i, e := range engines {
+			if e.Solved() || e.Exhausted() {
+				continue
 			}
+			if rem, capped := s.capRemaining(i, e); capped && rem <= 0 {
+				continue // parked, not dead — the caller's window loop resumes it
+			}
+			allDead = false
+			break
 		}
 		if allDead {
 			return -1
@@ -273,14 +316,20 @@ func runLockstep(ctx context.Context, engines []csp.Engine, s schedule) int {
 // lockstepWinner picks the walker that solved at the lowest virtual time;
 // within one round several may have solved — compare exact per-walker
 // iteration counts, which is exactly what a K-core machine would observe.
-func lockstepWinner(engines []csp.Engine) int {
+// base, when non-nil, holds per-walker virtual-time offsets (iterations
+// accumulated on engines replaced mid-run by the racing loop).
+func lockstepWinner(engines []csp.Engine, base []int64) int {
 	winner := -1
 	var best int64
 	for i, e := range engines {
 		if !e.Solved() {
 			continue
 		}
-		if it := e.Stats().Iterations; winner == -1 || it < best {
+		it := e.Stats().Iterations
+		if base != nil {
+			it += base[i]
+		}
+		if winner == -1 || it < best {
 			winner, best = i, it
 		}
 	}

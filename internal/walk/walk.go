@@ -78,6 +78,48 @@ type Config struct {
 	// MaxParallelism caps the number of OS-thread-backed goroutines used;
 	// 0 means GOMAXPROCS. (Virtual mode uses it for its worker pool.)
 	MaxParallelism int
+
+	// Allocator, when non-nil, turns the run into a racing portfolio:
+	// Portfolio holds the arm factories and the Allocator reassigns
+	// walkers across arms at fixed iteration-window boundaries based on
+	// the windowed per-walker stats it observes (internal/race provides
+	// the policy). Reassigned walkers keep their configuration — the new
+	// arm's engine is re-armed via csp.Restartable.RestartFrom — and
+	// their accumulated virtual time. Requires a non-empty Portfolio.
+	Allocator Allocator
+}
+
+// WalkerObs is one walker's observation over one racing window: the arm
+// it ran, its csp.Stats deltas (Stats.Sub) across the window, and its
+// configuration cost at the window boundary.
+type WalkerObs struct {
+	Arm   int
+	Delta csp.Stats
+	Cost  int
+}
+
+// Allocator is the racing-portfolio policy plugged into Config.Allocator.
+// The scheduler core calls it only from the window loop's single
+// goroutine, in a fixed order: Assign(0) before the run, then for each
+// window w: Observe(w, obs) after the window completes, and Assign(w+1)
+// if the run continues. Implementations must be deterministic — a pure
+// function of construction parameters and the observations fed so far —
+// so lockstep runs stay bit-reproducible at any MaxParallelism.
+type Allocator interface {
+	// Window returns the length of window w in iterations of virtual
+	// time per walker (values < 1 fall back to a default length). The
+	// schedule may vary by window — racing policies typically start with
+	// short windows for cheap early decision points and grow them so
+	// long runs pay less observation noise and restart overhead.
+	Window(w int) int64
+	// Observe feeds the windowed per-walker observations for window w.
+	// It is also called for the final (possibly partial) window, so the
+	// observed deltas summed over all windows equal the engines' totals.
+	Observe(w int, obs []WalkerObs)
+	// Assign returns the walker→arm assignment for window w (length =
+	// walker count, values indexing Config.Portfolio). Assign(0) gives
+	// the initial split before anything has been observed.
+	Assign(w int) []int
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +198,9 @@ type Result struct {
 // invoked once per walker.
 func Parallel(ctx context.Context, newModel func() csp.Model, cfg Config) Result {
 	cfg = cfg.withDefaults()
+	if cfg.Allocator != nil {
+		return runRacing(ctx, newModel, cfg, modeReal, 0)
+	}
 	engines, _ := newEngines(newModel, cfg)
 	return run(ctx, engines, schedule{
 		mode:    modeReal,
@@ -175,6 +220,9 @@ func Parallel(ctx context.Context, newModel func() csp.Model, cfg Config) Result
 // maxVirtualIterations bounds each walker's virtual time (0 = unlimited).
 func Virtual(ctx context.Context, newModel func() csp.Model, cfg Config, maxVirtualIterations int64) Result {
 	cfg = cfg.withDefaults()
+	if cfg.Allocator != nil {
+		return runRacing(ctx, newModel, cfg, modeLockstep, maxVirtualIterations)
+	}
 	engines, _ := newEngines(newModel, cfg)
 	return run(ctx, engines, schedule{
 		mode:       modeLockstep,
